@@ -1,0 +1,194 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per table
+// and figure (BenchmarkFigNN...), each reporting the experiment's headline
+// number as a custom metric, plus micro-benchmarks of the core structures.
+//
+// The figure benchmarks run at a reduced scale so `go test -bench=.` stays
+// tractable; `cmd/idyllbench` regenerates the full-scale tables.
+package idyll_test
+
+import (
+	"testing"
+
+	"idyll"
+	"idyll/internal/core"
+	"idyll/internal/experiment"
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+)
+
+// benchOptions is the reduced scale for benchmark runs.
+func benchOptions() experiment.Options {
+	o := experiment.DefaultOptions()
+	o.CUsPerGPU = 8
+	o.AccessesPerCU = 300
+	return o
+}
+
+// benchFigure runs one registry experiment per benchmark iteration and
+// reports the value at (row, "Ave.") as a custom metric.
+func benchFigure(b *testing.B, id, row, metric string) {
+	b.Helper()
+	o := benchOptions()
+	e, err := experiment.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		tab, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v, err := tab.Get(row, "Ave.")
+		if err != nil {
+			// Single-column tables (Table 2) have no Ave.
+			v = tab.Rows[0].Values[0]
+		}
+		headline = v
+	}
+	b.ReportMetric(headline, metric)
+}
+
+func BenchmarkFig01InvalidationOverhead(b *testing.B) {
+	benchFigure(b, "fig1", "Invalidation overhead", "overhead-frac")
+}
+
+func BenchmarkFig02MigrationPolicies(b *testing.B) {
+	benchFigure(b, "fig2", "Zero-Latency Invalidation", "zero-latency-speedup")
+}
+
+func BenchmarkTable3MPKI(b *testing.B) {
+	benchFigure(b, "table3", "Measured MPKI", "mean-mpki")
+}
+
+func BenchmarkFig04Sharing(b *testing.B) {
+	benchFigure(b, "fig4", "Shared by 4", "shared-by-4-frac")
+}
+
+func BenchmarkFig05RequestMix(b *testing.B) {
+	benchFigure(b, "fig5", "Unnecessary invalidation", "unnecessary-frac")
+}
+
+func BenchmarkFig06DemandLatency(b *testing.B) {
+	benchFigure(b, "fig6", "Eliminating invalidation (rel.)", "relative-latency")
+}
+
+func BenchmarkFig07MigrationWait(b *testing.B) {
+	benchFigure(b, "fig7", "Waiting fraction", "wait-frac")
+}
+
+func BenchmarkFig11Overall(b *testing.B) {
+	benchFigure(b, "fig11", "IDYLL", "idyll-speedup")
+}
+
+func BenchmarkFig12DemandLatency(b *testing.B) {
+	benchFigure(b, "fig12", "Relative", "relative-latency")
+}
+
+func BenchmarkFig13Invalidation(b *testing.B) {
+	benchFigure(b, "fig13", "Total latency", "relative-latency")
+}
+
+func BenchmarkFig14MigrationWait(b *testing.B) {
+	benchFigure(b, "fig14", "Relative", "relative-wait")
+}
+
+func BenchmarkFig15IRMBSize(b *testing.B) {
+	benchFigure(b, "fig15", "(32,16)", "default-geometry-speedup")
+}
+
+func BenchmarkFig16PTWThreads(b *testing.B) {
+	benchFigure(b, "fig16", "16 threads", "idyll-speedup")
+}
+
+func BenchmarkFig17L2TLB(b *testing.B) {
+	benchFigure(b, "fig17", "IDYLL", "idyll-speedup")
+}
+
+func BenchmarkFig18GPUCount(b *testing.B) {
+	benchFigure(b, "fig18", "8-GPU", "idyll-speedup")
+}
+
+func BenchmarkFig19UnusedBits(b *testing.B) {
+	benchFigure(b, "fig19", "8-GPU", "idyll-speedup")
+}
+
+func BenchmarkFig20Threshold(b *testing.B) {
+	benchFigure(b, "fig20", "512 IDYLL", "idyll-speedup")
+}
+
+func BenchmarkFig21LargePages(b *testing.B) {
+	benchFigure(b, "fig21", "IDYLL (2MB pages)", "idyll-speedup")
+}
+
+func BenchmarkFig22Replication(b *testing.B) {
+	benchFigure(b, "fig22", "IDYLL vs replication", "idyll-speedup")
+}
+
+func BenchmarkFig23TransFW(b *testing.B) {
+	benchFigure(b, "fig23", "IDYLL+Trans-FW", "combined-speedup")
+}
+
+func BenchmarkFig24DNN(b *testing.B) {
+	benchFigure(b, "fig24", "IDYLL", "idyll-speedup")
+}
+
+func BenchmarkAblationDrainOnIdle(b *testing.B) {
+	benchFigure(b, "ablation-drain", "Drain on idle (default)", "idyll-speedup")
+}
+
+// BenchmarkSimulatePageRank measures raw simulator throughput: simulated
+// accesses per wall-clock second on the default IDYLL configuration.
+func BenchmarkSimulatePageRank(b *testing.B) {
+	app, err := idyll.App("PR")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := idyll.DefaultMachine()
+	m.CUsPerGPU = 8
+	m.AccessCounterThreshold = 2
+	rc := idyll.RunConfig{AccessesPerCU: 300}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		st, err := idyll.Simulate(m, idyll.IDYLL(), app, rc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += int(st.Accesses)
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// Micro-benchmarks of the core hardware structures.
+
+func BenchmarkIRMBInsertLookup(b *testing.B) {
+	irmb := core.NewIRMB(core.DefaultGeometry)
+	r := sim.NewRand(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vpn := memdef.VPN(r.Intn(1 << 14))
+		irmb.Insert(vpn)
+		irmb.Lookup(vpn)
+	}
+}
+
+func BenchmarkEventEngine(b *testing.B) {
+	e := sim.NewEngine()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(sim.VTime(i%64), func() {})
+		if i%1024 == 1023 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkZipfSampling(b *testing.B) {
+	z := sim.NewZipf(sim.NewRand(3), 4096, 1.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank()
+	}
+}

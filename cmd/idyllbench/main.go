@@ -1,0 +1,110 @@
+// Command idyllbench regenerates the paper's evaluation: every table and
+// figure of the IDYLL paper (MICRO'23), printed as text tables in the same
+// row/column layout as the plots.
+//
+// Usage:
+//
+//	idyllbench                 # regenerate everything (several minutes)
+//	idyllbench -fig fig11      # one experiment
+//	idyllbench -list           # list experiment IDs
+//	idyllbench -cus 8 -accesses 300   # smaller scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"idyll/internal/experiment"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "run a single experiment by ID (e.g. fig11)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		cus      = flag.Int("cus", 0, "CUs per GPU (default: suite default)")
+		accesses = flag.Int("accesses", 0, "accesses per CU (default: suite default)")
+		seed     = flag.Uint64("seed", 0, "workload seed (default: suite default)")
+		appsFlag = flag.String("apps", "", "comma-separated app subset (default: all)")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			fmt.Printf("  %-14s %s\n", e.ID, e.Notes)
+		}
+		return
+	}
+
+	o := experiment.DefaultOptions()
+	if *cus > 0 {
+		o.CUsPerGPU = *cus
+	}
+	if *accesses > 0 {
+		o.AccessesPerCU = *accesses
+	}
+	if *seed != 0 {
+		o.Seed = *seed
+	}
+	if *appsFlag != "" {
+		o.Apps = splitCSV(*appsFlag)
+	}
+
+	entries := experiment.Registry()
+	if *fig != "" {
+		e, err := experiment.Find(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idyllbench:", err)
+			os.Exit(1)
+		}
+		entries = []experiment.Entry{e}
+	}
+
+	start := time.Now()
+	for _, e := range entries {
+		t0 := time.Now()
+		tab, err := e.Run(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "idyllbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		var body string
+		switch *format {
+		case "csv":
+			body = tab.RenderCSV()
+		case "json":
+			body, err = tab.RenderJSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "idyllbench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		default:
+			body = tab.Render()
+		}
+		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.ID, time.Since(t0).Seconds(), body)
+	}
+	fmt.Printf("regenerated %d experiments in %.1fs\n", len(entries), time.Since(start).Seconds())
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		if r != ' ' {
+			cur += string(r)
+		}
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Command idylltrace generates, inspects, and replays workload traces.
+// Saving a generated trace lets every scheme of an experiment run the
+// byte-identical access stream, and gives external tools a way to feed
+// their own traces into the simulator.
+//
+//	idylltrace gen -app PR -out pr.trace              # generate + save
+//	idylltrace info pr.trace                          # summarize
+//	idylltrace run -scheme idyll pr.trace             # simulate a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"idyll/internal/config"
+	"idyll/internal/memdef"
+	"idyll/internal/system"
+	"idyll/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		cmdGen(os.Args[2:])
+	case "info":
+		cmdInfo(os.Args[2:])
+	case "run":
+		cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  idylltrace gen  -app <abbr> [-gpus N] [-cus N] [-accesses N] [-seed N] -out FILE
+  idylltrace info FILE
+  idylltrace run  [-scheme NAME] [-threshold N] FILE`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	app := fs.String("app", "PR", "application abbreviation")
+	gpus := fs.Int("gpus", 4, "GPUs")
+	cus := fs.Int("cus", 16, "CUs per GPU")
+	accesses := fs.Int("accesses", 600, "accesses per CU")
+	seed := fs.Uint64("seed", 20231028, "seed")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		usage()
+	}
+	p, err := workload.App(*app)
+	fatal(err)
+	trace := workload.Generate(p, *gpus, *cus, *accesses, *seed)
+	f, err := os.Create(*out)
+	fatal(err)
+	defer f.Close()
+	fatal(trace.Save(f))
+	fmt.Printf("wrote %s: %s on %d GPUs, %d accesses\n",
+		*out, p.Abbr, trace.NumGPUs, trace.TotalAccesses())
+}
+
+func loadTrace(path string) *workload.Trace {
+	f, err := os.Open(path)
+	fatal(err)
+	defer f.Close()
+	t, err := workload.ReadTrace(f)
+	fatal(err)
+	return t
+}
+
+func cmdInfo(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := loadTrace(fs.Arg(0))
+	writes := 0
+	pages := map[memdef.VPN]bool{}
+	for _, gpu := range t.Accesses {
+		for _, cu := range gpu {
+			for _, a := range cu {
+				if a.Write {
+					writes++
+				}
+				pages[memdef.PageNum(a.VA, memdef.Page4K)] = true
+			}
+		}
+	}
+	total := t.TotalAccesses()
+	fmt.Printf("name:        %s\n", t.Params.Abbr)
+	fmt.Printf("gpus:        %d\n", t.NumGPUs)
+	fmt.Printf("cus/gpu:     %d\n", len(t.Accesses[0]))
+	fmt.Printf("accesses:    %d (%.1f%% writes)\n", total, float64(writes)/float64(total)*100)
+	fmt.Printf("4KB pages:   %d (%.1f MB footprint)\n", len(pages), float64(len(pages))*4/1024)
+	fmt.Printf("issue shape: gap=%d cy, instr/access=%d\n",
+		t.Params.ComputeGap, t.Params.InstrPerAccess)
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	schemeName := fs.String("scheme", "idyll", "scheme")
+	threshold := fs.Int("threshold", 2, "access-counter threshold")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		usage()
+	}
+	t := loadTrace(fs.Arg(0))
+	scheme, err := schemeByName(*schemeName)
+	fatal(err)
+	m := config.Default()
+	m.NumGPUs = t.NumGPUs
+	m.CUsPerGPU = len(t.Accesses[0])
+	m.AccessCounterThreshold = *threshold
+	s, err := system.New(m, scheme)
+	fatal(err)
+	st, err := s.Run(t)
+	fatal(err)
+	fmt.Println(st.Summary())
+}
+
+// schemeByName mirrors cmd/idyllsim's mapping.
+func schemeByName(name string) (config.Scheme, error) {
+	switch name {
+	case "baseline":
+		return config.Baseline(), nil
+	case "lazy":
+		return config.OnlyLazy(), nil
+	case "inpte":
+		return config.OnlyInPTE(), nil
+	case "idyll":
+		return config.IDYLL(), nil
+	case "inmem":
+		return config.IDYLLInMem(), nil
+	case "zero":
+		return config.ZeroLatency(), nil
+	case "first-touch":
+		return config.FirstTouchScheme(), nil
+	case "on-touch":
+		return config.OnTouchScheme(), nil
+	case "replication":
+		return config.ReplicationScheme(), nil
+	case "transfw":
+		return config.TransFWScheme(), nil
+	case "idyll+transfw":
+		return config.IDYLLTransFW(), nil
+	}
+	return config.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idylltrace:", err)
+		os.Exit(1)
+	}
+}

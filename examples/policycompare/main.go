@@ -1,0 +1,67 @@
+// Policy comparison: reproduce the §3.3 / Figure 2 design space on one
+// stencil workload — first-touch, on-touch, counter-based migration, page
+// replication, and the zero-latency-invalidation ideal — and show *why*
+// each wins or loses (remote access share vs migration churn vs
+// invalidation cost).
+//
+//	go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idyll"
+)
+
+func main() {
+	app, err := idyll.App("ST") // Stencil 2D: neighbour halo sharing
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := idyll.DefaultMachine()
+	machine.CUsPerGPU = 16
+	machine.AccessCounterThreshold = 2
+	rc := idyll.RunConfig{AccessesPerCU: 600}
+
+	schemes := []idyll.Scheme{
+		idyll.FirstTouch(),
+		idyll.OnTouch(),
+		idyll.Baseline(), // access counter-based
+		idyll.Replication(),
+		idyll.ZeroLatency(),
+		idyll.IDYLL(),
+	}
+
+	base, err := idyll.Simulate(machine, idyll.Baseline(), app, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Stencil 2D: migration-policy design space (4 GPUs)")
+	fmt.Printf("\n%-26s %8s %9s %10s %9s %11s\n",
+		"policy", "speedup", "remote%", "migrations", "invals", "mean dm cy")
+	for _, s := range schemes {
+		st, err := idyll.Simulate(machine, s, app, rc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		remote := float64(st.RemoteAccesses) / float64(st.RemoteAccesses+st.LocalAccesses) * 100
+		fmt.Printf("%-26s %7.2fx %8.1f%% %10d %9d %11.0f\n",
+			s.Name, st.Speedup(base), remote, st.Migrations, st.InvalReceived,
+			st.DemandMiss.Mean())
+	}
+
+	fmt.Println(`
+Reading the table (cf. paper §2, Figure 2):
+  - first-touch never migrates: no invalidations, but every shared access
+    stays remote (in the paper's full-length runs that remote tax loses;
+    at this compressed trace scale avoiding migration wins — see
+    EXPERIMENTS.md "Known deviations");
+  - on-touch migrates on every fault and pays constant invalidation rounds;
+  - counter-based migration is the A100 baseline IDYLL builds on;
+  - replication serves shared reads locally but collapses on writes;
+  - zero-latency invalidation bounds what removing the invalidation cost
+    can buy — and IDYLL approaches (or beats) it by also bypassing local
+    walks for IRMB-hit demand misses.`)
+}

@@ -1,0 +1,50 @@
+// Quickstart: simulate PageRank on a 4-GPU system under the baseline
+// (counter-based migration with broadcast invalidations) and under IDYLL,
+// and report where the speedup comes from.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"idyll"
+)
+
+func main() {
+	app, err := idyll.App("PR")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	machine := idyll.DefaultMachine()
+	machine.CUsPerGPU = 16             // scale down from 64 for a quick demo
+	machine.AccessCounterThreshold = 2 // trace-scaled threshold (EXPERIMENTS.md)
+
+	rc := idyll.RunConfig{AccessesPerCU: 600, Check: true}
+
+	base, err := idyll.Simulate(machine, idyll.Baseline(), app, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := idyll.Simulate(machine, idyll.IDYLL(), app, rc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("PageRank on a 4-GPU system (%d accesses)\n\n", base.Accesses)
+	fmt.Printf("%-28s %14s %14s\n", "", "Baseline", "IDYLL")
+	row := func(label string, b, o float64) {
+		fmt.Printf("%-28s %14.0f %14.0f\n", label, b, o)
+	}
+	row("execution cycles", float64(base.ExecCycles), float64(opt.ExecCycles))
+	row("migrations", float64(base.Migrations), float64(opt.Migrations))
+	row("invalidations received", float64(base.InvalReceived), float64(opt.InvalReceived))
+	row("demand-miss latency (mean)", base.DemandMiss.Mean(), opt.DemandMiss.Mean())
+	row("migration wait (mean)", base.MigrationWait.Mean(), opt.MigrationWait.Mean())
+	fmt.Printf("\nIDYLL speedup: %.2fx\n", opt.Speedup(base))
+	fmt.Printf("invalidations filtered by the in-PTE directory: %d\n", opt.DirectoryFiltered)
+	fmt.Printf("invalidations absorbed by the IRMB: %d inserts, %d annihilated by remaps\n",
+		opt.IRMBInserts, opt.IRMBInserts-opt.IRMBWritebacks)
+}

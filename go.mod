@@ -1,0 +1,3 @@
+module idyll
+
+go 1.22

@@ -1,0 +1,86 @@
+package idyll_test
+
+import (
+	"testing"
+
+	"idyll"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	app, err := idyll.App("PR")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := idyll.DefaultMachine()
+	m.CUsPerGPU = 4
+	m.AccessCounterThreshold = 2
+	rc := idyll.RunConfig{AccessesPerCU: 200, Check: true}
+	base, err := idyll.Simulate(m, idyll.Baseline(), app, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := idyll.Simulate(m, idyll.IDYLL(), app, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Speedup(base) <= 1.0 {
+		t.Fatalf("IDYLL speedup on PR = %.2f, want >1", opt.Speedup(base))
+	}
+}
+
+func TestAppsCoverTable3(t *testing.T) {
+	if len(idyll.Apps()) != 9 {
+		t.Fatalf("Apps() returned %d entries, want 9", len(idyll.Apps()))
+	}
+	for _, abbr := range []string{"MT", "MM", "PR", "ST", "SC", "KM", "IM", "C2D", "BS", "VGG16", "ResNet18"} {
+		if _, err := idyll.App(abbr); err != nil {
+			t.Errorf("App(%q): %v", abbr, err)
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	o := idyll.DefaultExperimentOptions()
+	o.CUsPerGPU, o.AccessesPerCU = 4, 150
+	o.Apps = []string{"KM"}
+	tab, err := idyll.Experiment("fig5", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("fig5 has %d rows", len(tab.Rows))
+	}
+	if _, err := idyll.Experiment("fig99", o); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(idyll.Experiments()) < 20 {
+		t.Fatal("experiment registry too small")
+	}
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	app, _ := idyll.App("ST")
+	tr := idyll.GenerateTrace(app, 2, 3, 50, 7)
+	if tr.TotalAccesses() != 2*3*50 {
+		t.Fatalf("trace has %d accesses", tr.TotalAccesses())
+	}
+}
+
+func TestNewSystemDirectUse(t *testing.T) {
+	m := idyll.DefaultMachine()
+	m.CUsPerGPU = 2
+	m.AccessCounterThreshold = 2
+	sys, err := idyll.NewSystem(m, idyll.IDYLL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, _ := idyll.App("KM")
+	tr := idyll.GenerateTrace(app, m.NumGPUs, m.CUsPerGPU, 100, 3)
+	st, err := sys.Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ExecCycles == 0 {
+		t.Fatal("no execution recorded")
+	}
+}

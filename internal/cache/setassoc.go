@@ -1,0 +1,189 @@
+// Package cache provides a generic set-associative container with true-LRU
+// replacement. It is the storage substrate for every cache-like structure in
+// the system: L1/L2 TLBs, the page-walk cache, the L1/L2 data caches, and
+// the IDYLL-InMem VM-Cache. It models capacity and replacement only; timing
+// belongs to the components that embed it.
+package cache
+
+// SetAssoc is a set-associative cache mapping keys of type K to values of
+// type V. The zero value is not usable; construct with New.
+type SetAssoc[K comparable, V any] struct {
+	sets    int
+	ways    int
+	index   func(K) uint64
+	lines   [][]line[K, V] // [set][way], ordered MRU-first
+	size    int
+	lookups uint64
+	hits    uint64
+	evicts  uint64
+}
+
+type line[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New builds a cache with the given geometry. index maps a key to a set
+// (reduced modulo sets); a nil index uses the identity for integer-like
+// hashing via the provided function — callers must supply one for non-integer
+// keys.
+func New[K comparable, V any](sets, ways int, index func(K) uint64) *SetAssoc[K, V] {
+	if sets <= 0 || ways <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	if index == nil {
+		panic("cache: nil index function")
+	}
+	return &SetAssoc[K, V]{
+		sets:  sets,
+		ways:  ways,
+		index: index,
+		lines: make([][]line[K, V], sets),
+	}
+}
+
+// Sets reports the number of sets.
+func (c *SetAssoc[K, V]) Sets() int { return c.sets }
+
+// Ways reports the associativity.
+func (c *SetAssoc[K, V]) Ways() int { return c.ways }
+
+// Len reports the number of resident entries.
+func (c *SetAssoc[K, V]) Len() int { return c.size }
+
+// Capacity reports sets × ways.
+func (c *SetAssoc[K, V]) Capacity() int { return c.sets * c.ways }
+
+// Lookups reports the number of Lookup calls.
+func (c *SetAssoc[K, V]) Lookups() uint64 { return c.lookups }
+
+// Hits reports the number of Lookup calls that hit.
+func (c *SetAssoc[K, V]) Hits() uint64 { return c.hits }
+
+// Evictions reports the number of entries displaced by Insert.
+func (c *SetAssoc[K, V]) Evictions() uint64 { return c.evicts }
+
+// HitRate reports hits/lookups, or 0 if there were no lookups.
+func (c *SetAssoc[K, V]) HitRate() float64 {
+	if c.lookups == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.lookups)
+}
+
+func (c *SetAssoc[K, V]) set(key K) int {
+	return int(c.index(key) % uint64(c.sets))
+}
+
+// Lookup finds key, promoting it to MRU on hit.
+func (c *SetAssoc[K, V]) Lookup(key K) (V, bool) {
+	c.lookups++
+	s := c.set(key)
+	ln := c.lines[s]
+	for i := range ln {
+		if ln[i].key == key {
+			c.hits++
+			hit := ln[i]
+			copy(ln[1:i+1], ln[:i])
+			ln[0] = hit
+			return hit.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Peek finds key without touching LRU state or statistics.
+func (c *SetAssoc[K, V]) Peek(key K) (V, bool) {
+	ln := c.lines[c.set(key)]
+	for i := range ln {
+		if ln[i].key == key {
+			return ln[i].val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Insert adds or updates key→val as the MRU line of its set, evicting the
+// LRU line if the set is full. It returns the evicted pair, if any.
+func (c *SetAssoc[K, V]) Insert(key K, val V) (evictedKey K, evictedVal V, evicted bool) {
+	s := c.set(key)
+	ln := c.lines[s]
+	for i := range ln {
+		if ln[i].key == key {
+			copy(ln[1:i+1], ln[:i])
+			ln[0] = line[K, V]{key: key, val: val}
+			return
+		}
+	}
+	if len(ln) >= c.ways {
+		victim := ln[len(ln)-1]
+		copy(ln[1:], ln[:len(ln)-1])
+		ln[0] = line[K, V]{key: key, val: val}
+		c.evicts++
+		return victim.key, victim.val, true
+	}
+	c.lines[s] = append([]line[K, V]{{key: key, val: val}}, ln...)
+	c.size++
+	return
+}
+
+// Invalidate removes key and reports whether it was resident.
+func (c *SetAssoc[K, V]) Invalidate(key K) bool {
+	s := c.set(key)
+	ln := c.lines[s]
+	for i := range ln {
+		if ln[i].key == key {
+			c.lines[s] = append(ln[:i], ln[i+1:]...)
+			c.size--
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateIf removes every entry for which pred returns true and reports
+// how many were removed. Used for page-granular flushes of cacheline-keyed
+// caches.
+func (c *SetAssoc[K, V]) InvalidateIf(pred func(K, V) bool) int {
+	removed := 0
+	for s := range c.lines {
+		ln := c.lines[s]
+		kept := ln[:0]
+		for i := range ln {
+			if pred(ln[i].key, ln[i].val) {
+				removed++
+			} else {
+				kept = append(kept, ln[i])
+			}
+		}
+		c.lines[s] = kept
+	}
+	c.size -= removed
+	return removed
+}
+
+// Flush removes every entry.
+func (c *SetAssoc[K, V]) Flush() {
+	for s := range c.lines {
+		c.lines[s] = nil
+	}
+	c.size = 0
+}
+
+// Range calls fn for every resident entry until fn returns false.
+func (c *SetAssoc[K, V]) Range(fn func(K, V) bool) {
+	for s := range c.lines {
+		for i := range c.lines[s] {
+			if !fn(c.lines[s][i].key, c.lines[s][i].val) {
+				return
+			}
+		}
+	}
+}
+
+// ResetStats zeroes the hit/lookup/eviction counters.
+func (c *SetAssoc[K, V]) ResetStats() {
+	c.lookups, c.hits, c.evicts = 0, 0, 0
+}

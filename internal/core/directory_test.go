@@ -1,0 +1,180 @@
+package core
+
+import (
+	"testing"
+
+	"idyll/internal/memdef"
+	"idyll/internal/pagetable"
+)
+
+func TestBroadcastDirectoryNamesEveryGPU(t *testing.T) {
+	d := NewBroadcastDirectory(4)
+	gpus, extra := d.Targets(123)
+	if extra != 0 {
+		t.Fatalf("extra = %d", extra)
+	}
+	if len(gpus) != 4 {
+		t.Fatalf("targets = %v", gpus)
+	}
+	if d.RequiresHostWalkFirst() {
+		t.Fatal("baseline must broadcast before the host walk")
+	}
+	d.Record(123, 1) // must be a no-op
+	gpus, _ = d.Targets(123)
+	if len(gpus) != 4 {
+		t.Fatal("Record changed broadcast behaviour")
+	}
+}
+
+func newInPTE(numGPUs, bits int) (*InPTEDirectory, *pagetable.Table) {
+	pt := pagetable.New(memdef.Page4K)
+	return NewInPTEDirectory(pt, numGPUs, bits), pt
+}
+
+func TestInPTEDirectoryTracksAccessors(t *testing.T) {
+	d, pt := newInPTE(4, 11)
+	pt.Map(7, pagetable.PTE{Valid: true})
+	if gpus, _ := d.Targets(7); len(gpus) != 0 {
+		t.Fatalf("fresh page has targets %v", gpus)
+	}
+	d.Record(7, 0)
+	d.Record(7, 2)
+	gpus, _ := d.Targets(7)
+	if len(gpus) != 2 || gpus[0] != 0 || gpus[1] != 2 {
+		t.Fatalf("targets = %v, want [0 2]", gpus)
+	}
+	if !d.RequiresHostWalkFirst() {
+		t.Fatal("in-PTE directory needs the host walk")
+	}
+}
+
+func TestInPTEDirectoryClear(t *testing.T) {
+	d, pt := newInPTE(4, 11)
+	pt.Map(9, pagetable.PTE{Valid: true})
+	d.Record(9, 3)
+	d.Clear(9)
+	if gpus, _ := d.Targets(9); len(gpus) != 0 {
+		t.Fatalf("targets after clear = %v", gpus)
+	}
+}
+
+func TestInPTEDirectoryStoresBitsInPTEAux(t *testing.T) {
+	d, pt := newInPTE(4, 11)
+	pt.Map(5, pagetable.PTE{Valid: true})
+	d.Record(5, 3)
+	pte, _ := pt.Lookup(5)
+	if pte.Aux != 1<<3 {
+		t.Fatalf("Aux = %#x, want bit 3 (GPU3 → unused bit 55 = offset 3)", pte.Aux)
+	}
+}
+
+// With 8 GPUs and only 4 unused bits (Figure 19's setting), GPUs 0 and 4
+// share bit 0: recording GPU4 must also name GPU0 (false positive, never a
+// false negative).
+func TestInPTEDirectoryHashCollisionsAreSupersets(t *testing.T) {
+	d, pt := newInPTE(8, 4)
+	pt.Map(11, pagetable.PTE{Valid: true})
+	d.Record(11, 4)
+	gpus, _ := d.Targets(11)
+	want := map[int]bool{0: true, 4: true}
+	if len(gpus) != 2 {
+		t.Fatalf("targets = %v, want GPUs 0 and 4", gpus)
+	}
+	for _, g := range gpus {
+		if !want[g] {
+			t.Fatalf("unexpected target %d", g)
+		}
+	}
+}
+
+// Property-style check across all GPUs: every recorded GPU always appears in
+// Targets (no false negatives), for both wide and narrow hash widths.
+func TestInPTEDirectoryNoFalseNegatives(t *testing.T) {
+	for _, bits := range []int{4, 11} {
+		for numGPUs := 1; numGPUs <= 32; numGPUs *= 2 {
+			d, pt := newInPTE(numGPUs, bits)
+			pt.Map(1, pagetable.PTE{Valid: true})
+			for g := 0; g < numGPUs; g++ {
+				d.Record(1, g)
+				found := false
+				gpus, _ := d.Targets(1)
+				for _, got := range gpus {
+					if got == g {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("bits=%d gpus=%d: GPU %d recorded but not targeted", bits, numGPUs, g)
+				}
+			}
+		}
+	}
+}
+
+func TestInPTEDirectoryUnmappedPageHasNoTargets(t *testing.T) {
+	d, _ := newInPTE(4, 11)
+	if gpus, _ := d.Targets(999); gpus != nil {
+		t.Fatalf("targets for unmapped page = %v", gpus)
+	}
+}
+
+func TestVMDirectoryExactTracking(t *testing.T) {
+	d := NewVMDirectory(4, 2, 150)
+	d.Record(3, 1)
+	d.Record(3, 2)
+	gpus, _ := d.Targets(3)
+	if len(gpus) != 2 || gpus[0] != 1 || gpus[1] != 2 {
+		t.Fatalf("targets = %v", gpus)
+	}
+	d.Clear(3)
+	if gpus, _ := d.Targets(3); len(gpus) != 0 {
+		t.Fatalf("targets after clear = %v", gpus)
+	}
+	if d.RequiresHostWalkFirst() {
+		t.Fatal("VM-Cache is parallel to the host walk")
+	}
+}
+
+func TestVMDirectoryCacheMissCostsMemoryAccess(t *testing.T) {
+	d := NewVMDirectory(4, 2, 150)
+	_, lat := d.Targets(1) // cold: miss
+	if lat != 152 {
+		t.Fatalf("cold lookup latency = %d, want 152", lat)
+	}
+	_, lat = d.Targets(1) // now cached
+	if lat != 2 {
+		t.Fatalf("warm lookup latency = %d, want 2", lat)
+	}
+	if d.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", d.HitRate())
+	}
+}
+
+func TestVMDirectoryEvictionWritesBack(t *testing.T) {
+	d := NewVMDirectory(4, 2, 150)
+	// Fill one VM-Cache set (16 sets, 4 ways): VPNs congruent mod 16.
+	for i := 0; i < 5; i++ {
+		d.Record(memdef.VPN(i*16), i%4)
+	}
+	// VPN 0 was evicted; its mask must survive in the VM-Table.
+	gpus, _ := d.Targets(0)
+	if len(gpus) != 1 || gpus[0] != 0 {
+		t.Fatalf("written-back mask lost: targets = %v", gpus)
+	}
+}
+
+func TestVMDirectoryHashBeyond19GPUs(t *testing.T) {
+	d := NewVMDirectory(24, 2, 150)
+	d.Record(1, 20) // bit 20%19 = 1, shared with GPU 1
+	gpus, _ := d.Targets(1)
+	want := map[int]bool{1: true, 20: true}
+	if len(gpus) != 2 {
+		t.Fatalf("targets = %v", gpus)
+	}
+	for _, g := range gpus {
+		if !want[g] {
+			t.Fatalf("unexpected target %d", g)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package core
+
+// Hardware-overhead arithmetic of §6.2–§6.4, reproduced exactly so the
+// paper's cost claims are checkable in tests.
+
+// AccessBitPosition returns the host-PTE bit used as GPU gpu's access bit
+// under the in-PTE directory's modular hash: h(GPUid) = GPUid % m + 52
+// (Figure 8). m is the number of unused bits used for access bits (11 in
+// the default design, 4 in the §7.2 sensitivity study).
+func AccessBitPosition(gpu, m int) int {
+	if m <= 0 {
+		panic("core: non-positive unused-bit count")
+	}
+	return gpu%m + 52
+}
+
+// MaxUnusedPTEBits is the total number of unused bits in the 4 KB-page PTE
+// format: bits 62–52 (11 bits) plus bits 11–9 (3 bits), §6.2.
+const MaxUnusedPTEBits = 14
+
+// VMTableEntryBytes is the size of one VM-Table entry: 45-bit VPN + 19 GPU
+// access bits = 64 bits (§6.4).
+const VMTableEntryBytes = 8
+
+// VMTableBytes returns the VM-Table size for an application whose memory
+// footprint is footprintBytes, per §6.4: one 8-byte entry per 4 KB page,
+// i.e. footprint/2^12 × 8 = footprint/2^9 — 0.2% of the footprint.
+func VMTableBytes(footprintBytes uint64) uint64 {
+	return footprintBytes >> 9
+}
+
+// VMCacheBytes is the hardware cost of the 64-entry VM-Cache: each entry
+// holds a 41-bit VPN tag and 19 access bits, (41+19) × 64 / 8 = 480 bytes
+// (§6.4).
+func VMCacheBytes() int { return (41 + 19) * 64 / 8 }

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+func TestAccessBitPositionMatchesFigure8(t *testing.T) {
+	// §6.2: "in our default 4-GPU system, the unused bits 55-52 of PTE
+	// correspond to the access bit of GPU3-GPU0".
+	for gpu := 0; gpu < 4; gpu++ {
+		if got := AccessBitPosition(gpu, 11); got != 52+gpu {
+			t.Errorf("GPU%d bit = %d, want %d", gpu, got, 52+gpu)
+		}
+	}
+	// With m=11, GPU11 wraps onto GPU0's bit.
+	if AccessBitPosition(11, 11) != AccessBitPosition(0, 11) {
+		t.Error("hash wrap broken for m=11")
+	}
+	// §7.2's m=4: GPU4 collides with GPU0.
+	if AccessBitPosition(4, 4) != 52 {
+		t.Error("m=4 hash wrong")
+	}
+	// All positions stay within the unused-bit range 52..62.
+	for gpu := 0; gpu < 64; gpu++ {
+		p := AccessBitPosition(gpu, 11)
+		if p < 52 || p > 62 {
+			t.Fatalf("bit position %d outside 52..62", p)
+		}
+	}
+}
+
+func TestVMTableOverheadMatchesSection64(t *testing.T) {
+	// §6.4: footprint 2^x needs 2^(x-12) entries × 8 B = 2^(x-9) bytes,
+	// which is 1/512 ≈ 0.2% of the footprint.
+	footprint := uint64(1) << 30 // 1 GiB
+	got := VMTableBytes(footprint)
+	if got != footprint/512 {
+		t.Fatalf("VM-Table bytes = %d, want %d", got, footprint/512)
+	}
+	frac := float64(got) / float64(footprint)
+	if frac > 0.0021 || frac < 0.0019 {
+		t.Fatalf("VM-Table overhead = %.4f%%, want ≈0.2%%", frac*100)
+	}
+}
+
+func TestVMCacheOverheadIs480Bytes(t *testing.T) {
+	if got := VMCacheBytes(); got != 480 {
+		t.Fatalf("VM-Cache bytes = %d, want 480 (§6.4)", got)
+	}
+}
+
+func TestUnusedBitBudget(t *testing.T) {
+	if MaxUnusedPTEBits != 14 {
+		t.Fatal("§6.2: the PTE format has 14 unused bits (62-52 and 11-9)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AccessBitPosition accepted m=0")
+		}
+	}()
+	AccessBitPosition(0, 0)
+}

@@ -1,0 +1,137 @@
+// Package datapath models the data side of each GPU once translation has
+// succeeded: per-CU L1 vector caches, the shared L2 cache, and local DRAM
+// (Table 2: 16 KB/4-way L1V$, 256 KB/16-way L2$, 4 GB device memory).
+//
+// Remote data is not modelled here: per §3.2 it is fetched from the remote
+// GPU at cacheline granularity and bypasses the local cache hierarchy, so
+// the GPU model charges it as interconnect round-trip + remote DRAM latency.
+package datapath
+
+import (
+	"idyll/internal/cache"
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+)
+
+// Config sets cache geometry and latency.
+type Config struct {
+	L1Bytes      int
+	L1Ways       int
+	L1HitLatency sim.VTime
+	L2Bytes      int
+	L2Ways       int
+	L2HitLatency sim.VTime
+	DRAMLatency  sim.VTime
+	LineBytes    int
+}
+
+// DefaultConfig returns the Table 2 data-path configuration.
+func DefaultConfig() Config {
+	return Config{
+		L1Bytes: 16 << 10, L1Ways: 4, L1HitLatency: 4,
+		L2Bytes: 256 << 10, L2Ways: 16, L2HitLatency: 30,
+		DRAMLatency: 200,
+		LineBytes:   memdef.CachelineBytes,
+	}
+}
+
+type lineState struct {
+	dirty bool
+}
+
+// Hierarchy is one GPU's local data-cache hierarchy.
+type Hierarchy struct {
+	engine *sim.Engine
+	cfg    Config
+	l1     []*cache.SetAssoc[uint64, lineState] // per CU
+	l2     *cache.SetAssoc[uint64, lineState]
+	st     *stats.Sim
+
+	lineShift uint
+}
+
+// New builds the hierarchy for numCUs compute units.
+func New(engine *sim.Engine, numCUs int, cfg Config, st *stats.Sim) *Hierarchy {
+	shift := uint(0)
+	for 1<<shift < cfg.LineBytes {
+		shift++
+	}
+	idx := func(k uint64) uint64 { return k }
+	l1Sets := cfg.L1Bytes / cfg.LineBytes / cfg.L1Ways
+	if l1Sets < 1 {
+		l1Sets = 1
+	}
+	l2Sets := cfg.L2Bytes / cfg.LineBytes / cfg.L2Ways
+	if l2Sets < 1 {
+		l2Sets = 1
+	}
+	h := &Hierarchy{engine: engine, cfg: cfg, st: st, lineShift: shift}
+	h.l1 = make([]*cache.SetAssoc[uint64, lineState], numCUs)
+	for i := range h.l1 {
+		h.l1[i] = cache.New[uint64, lineState](l1Sets, cfg.L1Ways, idx)
+	}
+	h.l2 = cache.New[uint64, lineState](l2Sets, cfg.L2Ways, idx)
+	return h
+}
+
+// line returns the cacheline key of a physical address.
+func (h *Hierarchy) line(pa memdef.PAddr) uint64 { return uint64(pa) >> h.lineShift }
+
+// Access performs a local data access by cu to physical address pa and
+// invokes done when the data is available (write completion is acknowledged
+// at the same point; stores are modelled write-allocate/write-back).
+func (h *Hierarchy) Access(cu int, pa memdef.PAddr, write bool, done func()) {
+	ln := h.line(pa)
+	l1 := h.l1[cu]
+	h.st.L1DLookups++
+	if st, ok := l1.Lookup(ln); ok {
+		h.st.L1DHits++
+		if write && !st.dirty {
+			l1.Insert(ln, lineState{dirty: true})
+		}
+		h.engine.Schedule(h.cfg.L1HitLatency, done)
+		return
+	}
+	h.st.L2DLookups++
+	if _, ok := h.l2.Lookup(ln); ok {
+		h.st.L2DHits++
+		l1.Insert(ln, lineState{dirty: write})
+		h.engine.Schedule(h.cfg.L1HitLatency+h.cfg.L2HitLatency, done)
+		return
+	}
+	// Miss everywhere: DRAM fill. Write-back traffic of dirty victims is
+	// absorbed in DRAMLatency; the experiments are translation-bound.
+	h.l2.Insert(ln, lineState{})
+	l1.Insert(ln, lineState{dirty: write})
+	h.engine.Schedule(h.cfg.L1HitLatency+h.cfg.L2HitLatency+h.cfg.DRAMLatency, done)
+}
+
+// InvalidatePage drops every cached line of the given physical page, called
+// when a page migrates away so stale data cannot be read locally.
+func (h *Hierarchy) InvalidatePage(base memdef.PAddr, pageBytes uint64) int {
+	lo := h.line(base)
+	hi := h.line(base + memdef.PAddr(pageBytes) - 1)
+	pred := func(k uint64, _ lineState) bool { return k >= lo && k <= hi }
+	n := h.l2.InvalidateIf(pred)
+	for _, l1 := range h.l1 {
+		n += l1.InvalidateIf(pred)
+	}
+	return n
+}
+
+// L1HitRate reports the aggregate L1 hit rate.
+func (h *Hierarchy) L1HitRate() float64 {
+	var hits, lookups uint64
+	for _, c := range h.l1 {
+		hits += c.Hits()
+		lookups += c.Lookups()
+	}
+	if lookups == 0 {
+		return 0
+	}
+	return float64(hits) / float64(lookups)
+}
+
+// L2HitRate reports the shared L2 hit rate.
+func (h *Hierarchy) L2HitRate() float64 { return h.l2.HitRate() }

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"idyll/internal/config"
+)
+
+// Entry is one regenerable experiment in the suite.
+type Entry struct {
+	ID    string // "fig11", "table3", ...
+	Run   func(Options) (*Table, error)
+	Notes string
+}
+
+// Registry lists every regenerable table and figure, in paper order.
+func Registry() []Entry {
+	return []Entry{
+		{"fig1", Figure1, "invalidation overhead, 2-GPU motivation"},
+		{"fig2", Figure2, "migration-policy comparison"},
+		{"table2", Table2, "baseline machine configuration"},
+		{"table3", Table3, "application list with measured MPKI"},
+		{"fig4", Figure4, "page-sharing distribution"},
+		{"fig5", Figure5, "walker request mix"},
+		{"fig6", Figure6, "demand miss latency without invalidation"},
+		{"fig7", Figure7, "migration waiting latency share"},
+		{"fig11", Figure11, "overall performance (headline)"},
+		{"fig12", Figure12, "IDYLL demand miss latency"},
+		{"fig13", Figure13, "IDYLL invalidation count and latency"},
+		{"fig14", Figure14, "IDYLL migration waiting latency"},
+		{"fig15", Figure15, "IRMB geometry sweep"},
+		{"fig16", Figure16, "walker thread count sweep"},
+		{"fig17", Figure17, "2048-entry L2 TLB"},
+		{"fig18", Figure18, "8/16 GPU scaling"},
+		{"fig19", Figure19, "4 unused bits, 8/16/32 GPUs"},
+		{"fig20", Figure20, "access-counter threshold study"},
+		{"fig21", Figure21, "2MB pages"},
+		{"fig22", Figure22, "vs page replication"},
+		{"fig23", Figure23, "vs Trans-FW"},
+		{"fig24", Figure24, "DNN workloads"},
+		{"ablation-drain", AblationDrainOnIdle, "IRMB drain-on-idle ablation"},
+	}
+}
+
+// Find returns the registry entry with the given ID.
+func Find(id string) (Entry, error) {
+	id = strings.ToLower(strings.TrimSpace(id))
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiment: unknown id %q (known: %s)", id, strings.Join(ids, ", "))
+}
+
+// Table2 renders the machine configuration in the style of the paper's
+// Table 2. It takes Options for signature uniformity; scale options do not
+// change the configuration other than the CU count.
+func Table2(o Options) (*Table, error) {
+	m := config.Default()
+	if o.CUsPerGPU > 0 {
+		m.CUsPerGPU = o.CUsPerGPU
+	}
+	if o.CounterThreshold > 0 {
+		m.AccessCounterThreshold = o.CounterThreshold
+	}
+	t := &Table{
+		Title:   "Table 2: Baseline multi-GPU configuration",
+		Columns: []string{"value"},
+	}
+	add := func(label string, v float64) { t.AddRow(label, []float64{v}) }
+	add("GPUs", float64(m.NumGPUs))
+	add("CUs per GPU", float64(m.CUsPerGPU))
+	add("L1 TLB entries", float64(m.L1TLBEntries))
+	add("L1 TLB latency (cy)", float64(m.L1TLBLatency))
+	add("L2 TLB entries", float64(m.L2TLBEntries))
+	add("L2 TLB ways", float64(m.L2TLBWays))
+	add("L2 TLB latency (cy)", float64(m.L2TLBLatency))
+	add("PTW threads", float64(m.PTWThreads))
+	add("PTW level latency (cy)", float64(m.PTWLevelLatency))
+	add("PWC entries", float64(m.PWCEntries))
+	add("Walk queue depth", float64(m.WalkQueueDepth))
+	add("Access counter threshold", float64(m.AccessCounterThreshold))
+	add("Migration block (pages)", float64(m.MigrationBlockPages))
+	add("NVLink B/cycle", m.NVLinkBytesPerCycle)
+	add("PCIe B/cycle", m.PCIeBytesPerCycle)
+	return t, nil
+}

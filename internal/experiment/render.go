@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RenderCSV emits the table as CSV: a header row of columns, then one line
+// per series. Labels containing commas or quotes are quoted.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(c))
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(csvEscape(r.Label))
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// jsonTable is the stable JSON shape of a rendered experiment.
+type jsonTable struct {
+	Title   string            `json:"title"`
+	Caption string            `json:"caption,omitempty"`
+	Columns []string          `json:"columns"`
+	Series  []jsonSeries      `json:"series"`
+	Cells   map[string]string `json:"-"`
+}
+
+type jsonSeries struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
+// RenderJSON emits the table as indented JSON.
+func (t *Table) RenderJSON() (string, error) {
+	out := jsonTable{Title: t.Title, Caption: t.Caption, Columns: t.Columns}
+	for _, r := range t.Rows {
+		out.Series = append(out.Series, jsonSeries{Label: r.Label, Values: r.Values})
+	}
+	raw, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// ParseTableJSON round-trips a RenderJSON output back into a Table, so
+// downstream tools (and tests) can consume saved results.
+func ParseTableJSON(raw string) (*Table, error) {
+	var in jsonTable
+	if err := json.Unmarshal([]byte(raw), &in); err != nil {
+		return nil, fmt.Errorf("experiment: parsing table JSON: %w", err)
+	}
+	t := &Table{Title: in.Title, Caption: in.Caption, Columns: in.Columns}
+	for _, s := range in.Series {
+		t.AddRow(s.Label, s.Values)
+	}
+	return t, nil
+}

@@ -1,0 +1,58 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func renderFixture() *Table {
+	t := &Table{Title: "Fixture", Caption: "cap", Columns: []string{"A", "B"}}
+	t.AddRow("plain", []float64{1.5, 2})
+	t.AddRow(`with,comma "q"`, []float64{3, 4})
+	return t
+}
+
+func TestRenderCSV(t *testing.T) {
+	out := renderFixture().RenderCSV()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "series,A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "plain,1.5,2" {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], `"with,comma ""q"""`) {
+		t.Fatalf("quoted label wrong: %q", lines[2])
+	}
+}
+
+func TestRenderJSONRoundTrip(t *testing.T) {
+	orig := renderFixture()
+	raw, err := orig.RenderJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTableJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != orig.Title || got.Caption != orig.Caption {
+		t.Fatalf("metadata lost: %+v", got)
+	}
+	if len(got.Rows) != 2 || got.Rows[1].Values[1] != 4 {
+		t.Fatalf("rows lost: %+v", got.Rows)
+	}
+	v, err := got.Get("plain", "B")
+	if err != nil || v != 2 {
+		t.Fatalf("Get after round trip = %v, %v", v, err)
+	}
+}
+
+func TestParseTableJSONRejectsGarbage(t *testing.T) {
+	if _, err := ParseTableJSON("{nope"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

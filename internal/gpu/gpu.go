@@ -1,0 +1,635 @@
+// Package gpu models one GPU of the multi-GPU system (§3.1, Figure 3): the
+// compute units issuing memory accesses, the per-CU L1 TLBs, the shared L2
+// TLB with its MSHR, the GMMU (walk queue / PWC / walker threads), the fault
+// buffer path to the UVM driver, remote-mapping data accesses over NVLink,
+// access counters for counter-based migration, and the GPU half of the
+// IDYLL mechanisms: the IRMB with its parallel lookup, lazy write-back, and
+// drain-on-idle, plus the Trans-FW PRT.
+package gpu
+
+import (
+	"idyll/internal/config"
+	"idyll/internal/core"
+	"idyll/internal/datapath"
+	"idyll/internal/interconnect"
+	"idyll/internal/memdef"
+	"idyll/internal/pagetable"
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+	"idyll/internal/tlb"
+	"idyll/internal/transfw"
+	"idyll/internal/walker"
+	"idyll/internal/workload"
+)
+
+// Host is the GPU's view of the UVM driver; methods are invoked after
+// GPU→CPU network delivery. *driver.Driver satisfies it.
+type Host interface {
+	FarFault(gpu int, vpn memdef.VPN, write bool)
+	RequestMigration(gpu int, vpn memdef.VPN)
+	RecordResidency(gpu int, vpn memdef.VPN)
+}
+
+// waiter is one access blocked on an outstanding translation.
+type waiter struct {
+	cu        int
+	write     bool
+	va        memdef.VAddr
+	missStart sim.VTime
+	done      func()
+}
+
+// GPU is one device.
+type GPU struct {
+	ID      int
+	engine  *sim.Engine
+	machine config.Machine
+	scheme  config.Scheme
+	net     *interconnect.Network
+	host    Host
+	peers   []*GPU
+	st      *stats.Sim
+
+	l1tlbs []*tlb.TLB
+	l2tlb  *tlb.TLB
+	mshr   *tlb.MSHR[waiter]
+	gmmu   *walker.GMMU
+	data   *datapath.Hierarchy
+	irmb   *core.IRMB
+	prt    *transfw.PRT
+	// remoteService is this GPU's remote-access transaction engine pool:
+	// incoming fine-grained reads from peers serialize here (see
+	// config.RemoteEnginePorts).
+	remoteService *sim.Resource
+
+	counters    map[memdef.VPN]int
+	irmbReceipt map[memdef.VPN]sim.VTime
+	// pendingWB marks VPNs whose buffered invalidation left the IRMB for a
+	// write-back walk that has not yet reached them: the local PTE is still
+	// stale, so demand misses must keep treating them as IRMB hits.
+	pendingWB map[memdef.VPN]bool
+	// shotDown is the shootdown fence: VPNs whose TLB shootdown has been
+	// performed but whose PTE invalidation has not yet retired. In-flight
+	// demand walks must not refill the TLBs for these pages — real
+	// shootdowns fence new fills until the invalidation completes.
+	shotDown map[memdef.VPN]bool
+	// invalEpoch counts invalidations received per page; queued PTE
+	// updates carry the epoch they were issued under and abort if a newer
+	// invalidation arrived while they waited in the walk queue.
+	invalEpoch map[memdef.VPN]uint32
+
+	trace          [][]workload.Access
+	cuNext         []int
+	running        int // CU slots still live
+	doneAt         sim.VTime
+	onDone         func()
+	computeGap     int
+	instrPerAccess int
+
+	// OnTranslated, if set, is called whenever a translation is handed to a
+	// data access — the hook for the system-level correctness checker.
+	OnTranslated func(gpu int, vpn memdef.VPN, pfn memdef.PFN)
+}
+
+// New builds a GPU.
+func New(engine *sim.Engine, id int, machine config.Machine, scheme config.Scheme,
+	net *interconnect.Network, st *stats.Sim) *GPU {
+	g := &GPU{
+		ID:          id,
+		engine:      engine,
+		machine:     machine,
+		scheme:      scheme,
+		net:         net,
+		st:          st,
+		counters:    make(map[memdef.VPN]int),
+		irmbReceipt: make(map[memdef.VPN]sim.VTime),
+		pendingWB:   make(map[memdef.VPN]bool),
+		shotDown:    make(map[memdef.VPN]bool),
+		invalEpoch:  make(map[memdef.VPN]uint32),
+	}
+	g.l1tlbs = make([]*tlb.TLB, machine.CUsPerGPU)
+	for i := range g.l1tlbs {
+		g.l1tlbs[i] = tlb.New(tlb.Config{
+			Entries: machine.L1TLBEntries, Ways: machine.L1TLBEntries,
+			Latency: machine.L1TLBLatency,
+		})
+	}
+	g.l2tlb = tlb.New(tlb.Config{
+		Entries: machine.L2TLBEntries, Ways: machine.L2TLBWays,
+		Latency: machine.L2TLBLatency,
+	})
+	g.mshr = tlb.NewMSHR[waiter](machine.L2MSHREntries)
+	g.gmmu = walker.New(engine, pagetable.New(machine.PageSize), walker.Config{
+		Threads:       machine.PTWThreads,
+		QueueCapacity: machine.WalkQueueDepth,
+		LevelLatency:  machine.PTWLevelLatency,
+		PWCHitLatency: 1,
+		PWCEntries:    machine.PWCEntries,
+		PWCWays:       machine.PWCWays,
+		RetryDelay:    8,
+	}, st)
+	g.data = datapath.New(engine, machine.CUsPerGPU, datapath.Config{
+		L1Bytes: machine.L1CacheBytes, L1Ways: machine.L1CacheWays, L1HitLatency: machine.L1CacheLatency,
+		L2Bytes: machine.L2CacheBytes, L2Ways: machine.L2CacheWays, L2HitLatency: machine.L2CacheLatency,
+		DRAMLatency: machine.DRAMLatency,
+		LineBytes:   memdef.CachelineBytes,
+	}, st)
+	if scheme.Lazy {
+		geom := scheme.IRMB
+		if geom.Bases == 0 {
+			geom = core.DefaultGeometry
+		}
+		g.irmb = core.NewIRMB(geom)
+		if !scheme.NoIdleDrain {
+			g.gmmu.SetOnIdle(g.drainIRMB)
+		}
+	}
+	if scheme.TransFW {
+		g.prt = transfw.New(scheme.PRTCapacity)
+	}
+	if machine.RemoteEnginePorts > 0 {
+		g.remoteService = sim.NewResource(engine, machine.RemoteEnginePorts, -1)
+	}
+	return g
+}
+
+// SetHost attaches the UVM driver.
+func (g *GPU) SetHost(h Host) { g.host = h }
+
+// SetPeers attaches the other GPUs (for Trans-FW remote forwarding).
+func (g *GPU) SetPeers(peers []*GPU) { g.peers = peers }
+
+// GMMU exposes the GPU's MMU (tests, experiment probes).
+func (g *GPU) GMMU() *walker.GMMU { return g.gmmu }
+
+// IRMB exposes the IRMB, or nil when lazy invalidation is off.
+func (g *GPU) IRMB() *core.IRMB { return g.irmb }
+
+// PRT exposes the Trans-FW table, or nil.
+func (g *GPU) PRT() *transfw.PRT { return g.prt }
+
+// device is this GPU's memory device ID.
+func (g *GPU) device() memdef.DeviceID { return memdef.GPUDevice(g.ID) }
+
+// ---------------------------------------------------------------------------
+// CU issue model.
+// ---------------------------------------------------------------------------
+
+// Run starts executing a per-CU trace; onDone fires when every CU has
+// retired its last access.
+func (g *GPU) Run(trace [][]workload.Access, onDone func()) {
+	g.trace = trace
+	g.cuNext = make([]int, len(trace))
+	g.onDone = onDone
+	slots := g.machine.OutstandingPerCU
+	for cu := range trace {
+		for s := 0; s < slots; s++ {
+			g.running++
+			g.issueNext(cu)
+		}
+	}
+	if g.running == 0 {
+		g.finishSlot()
+	}
+}
+
+// DoneAt reports the cycle the last access retired.
+func (g *GPU) DoneAt() sim.VTime { return g.doneAt }
+
+// issueNext pulls the CU's next trace entry into this slot, or retires the
+// slot when the stream is exhausted.
+func (g *GPU) issueNext(cu int) {
+	idx := g.cuNext[cu]
+	if idx >= len(g.trace[cu]) {
+		g.finishSlot()
+		return
+	}
+	g.cuNext[cu] = idx + 1
+	acc := g.trace[cu][idx]
+	g.st.Accesses++
+	g.st.Instructions += uint64(maxInt(1, g.traceInstrPerAccess()))
+	g.st.Sharing().Record(memdef.PageNum(acc.VA, g.machine.PageSize), g.ID)
+	g.access(cu, acc, func() {
+		gap := sim.VTime(g.traceComputeGap())
+		g.engine.Schedule(gap, func() { g.issueNext(cu) })
+	})
+}
+
+func (g *GPU) finishSlot() {
+	g.running--
+	if g.running <= 0 {
+		g.doneAt = g.engine.Now()
+		if g.onDone != nil {
+			g.onDone()
+		}
+	}
+}
+
+// traceComputeGap and traceInstrPerAccess come from the workload params,
+// injected via SetWorkloadShape.
+func (g *GPU) traceComputeGap() int     { return g.computeGap }
+func (g *GPU) traceInstrPerAccess() int { return g.instrPerAccess }
+
+// SetWorkloadShape configures the issue gap and instruction scaling.
+func (g *GPU) SetWorkloadShape(computeGap, instrPerAccess int) {
+	g.computeGap, g.instrPerAccess = computeGap, instrPerAccess
+}
+
+// SetCounterThreshold overrides the access-counter threshold, applied by
+// the system when a workload declares a ThresholdFactor.
+func (g *GPU) SetCounterThreshold(t int) {
+	if t > 0 {
+		g.machine.AccessCounterThreshold = t
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Translation path (§3.2, Figure 3 ❶→❻; Figure 9 Ⓐ Ⓑ Ⓒ).
+// ---------------------------------------------------------------------------
+
+// access translates and performs one memory access, then calls done.
+func (g *GPU) access(cu int, acc workload.Access, done func()) {
+	vpn := memdef.PageNum(acc.VA, g.machine.PageSize)
+	g.st.L1TLBLookups++
+	g.engine.Schedule(g.l1tlbs[cu].Latency(), func() {
+		if e, ok := g.l1tlbs[cu].Lookup(vpn); ok && (!acc.Write || e.Writable) {
+			g.st.L1TLBHits++
+			g.dataAccess(cu, vpn, acc, e, done)
+			return
+		}
+		g.lookupL2(cu, vpn, acc, done)
+	})
+}
+
+// lookupL2 probes the shared L2 TLB; on a miss the IRMB is probed in
+// parallel (Figure 9 Ⓐ/Ⓑ) and the demand miss enters the MSHR.
+func (g *GPU) lookupL2(cu int, vpn memdef.VPN, acc workload.Access, done func()) {
+	g.engine.Schedule(g.l2tlb.Latency(), func() {
+		g.st.L2TLBLookups++
+		if e, ok := g.l2tlb.Lookup(vpn); ok && (!acc.Write || e.Writable) {
+			g.st.L2TLBHits++
+			g.l1tlbs[cu].Fill(vpn, e)
+			g.dataAccess(cu, vpn, acc, e, done)
+			return
+		}
+		w := waiter{cu: cu, write: acc.Write, va: acc.VA, missStart: g.engine.Now(), done: done}
+		switch g.mshr.Add(vpn, w) {
+		case tlb.Merged:
+			g.st.MSHRMerges++
+		case tlb.Full:
+			g.engine.Schedule(8, func() { g.lookupL2(cu, vpn, acc, done) })
+		case tlb.Allocated:
+			g.launchTranslation(vpn, acc.Write)
+		}
+	})
+}
+
+// launchTranslation resolves a demand miss: IRMB hit bypasses the local
+// walk straight to a far fault (Figure 9 Ⓒ); otherwise the GMMU walks the
+// local page table.
+func (g *GPU) launchTranslation(vpn memdef.VPN, write bool) {
+	if g.irmb != nil {
+		g.st.IRMBLookups++
+		if g.irmb.Lookup(vpn) || g.pendingWB[vpn] {
+			// The local PTE is stale (buffered in the IRMB, or evicted from
+			// it into a write-back walk that has not landed yet); walking
+			// it would read a dead translation. Raise the far fault now.
+			g.st.IRMBLookupHits++
+			g.farFault(vpn, write)
+			return
+		}
+	}
+	g.gmmu.Demand(vpn, func(pagetable.PTE, bool) {
+		// Use the PTE as of walk *completion*: an invalidation walk may
+		// have retired while this walk was in flight.
+		pte, ok := g.gmmu.PageTable().Lookup(vpn)
+		if ok && pte.Valid {
+			// Shootdown fence and IRMB staleness: a pending invalidation
+			// for this page means the walked translation must not be used
+			// or refilled into the TLBs.
+			if g.shotDown[vpn] ||
+				(g.irmb != nil && (g.irmb.Lookup(vpn) || g.pendingWB[vpn])) {
+				g.farFault(vpn, write)
+				return
+			}
+			g.translationReady(vpn, tlb.Entry{PFN: pte.PFN, Writable: pte.Writable})
+			return
+		}
+		g.farFault(vpn, write)
+	})
+}
+
+// farFault notifies the UVM driver (Figure 3 ❻). With Trans-FW, the fault
+// is simultaneously forwarded to the PRT-predicted remote GPU; whichever
+// translation arrives first unblocks the MSHR.
+func (g *GPU) farFault(vpn memdef.VPN, write bool) {
+	g.st.FarFaults++
+	if g.prt != nil {
+		g.st.PRTLookups++
+		if holder, ok := g.prt.Lookup(vpn); ok && holder != g.ID && holder < len(g.peers) {
+			g.st.PRTHits++
+			g.forwardToPeer(vpn, holder)
+		}
+	}
+	g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
+		g.host.FarFault(g.ID, vpn, write)
+	})
+}
+
+// forwardToPeer asks a remote GPU for its translation of vpn (Trans-FW).
+// Trans-FW provisions a dedicated remote-lookup port at each GMMU, so the
+// forwarded query reads the remote page table at a fixed cost instead of
+// queueing behind the remote GPU's own demand walks.
+func (g *GPU) forwardToPeer(vpn memdef.VPN, holder int) {
+	peer := g.peers[holder]
+	// Remote PT read: PWC-assisted, roughly one memory access plus port
+	// overhead.
+	const remoteLookupLatency = 150
+	g.net.GPUToGPU(g.ID, holder, memdef.ControlMsgBytes, func() {
+		g.engine.Schedule(remoteLookupLatency, func() {
+			pte, ok := peer.gmmu.PageTable().Lookup(vpn)
+			if ok && peer.irmb != nil && (peer.irmb.Lookup(vpn) || peer.pendingWB[vpn]) {
+				ok = false // the holder's own copy is pending invalidation
+			}
+			g.net.GPUToGPU(holder, g.ID, memdef.ControlMsgBytes, func() {
+				if !ok || !pte.Valid {
+					g.st.PRTFalsePositives++
+					return // host path still in flight; it will resolve
+				}
+				if !g.mshr.Pending(vpn) {
+					return // host path won already
+				}
+				// Install the forwarded translation and tell the driver so
+				// the directory stays a superset of holders.
+				epoch := g.invalEpoch[vpn]
+				g.gmmu.UpdateUnless(vpn, pte, func() bool { return g.invalEpoch[vpn] != epoch }, nil)
+				g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
+					g.host.RecordResidency(g.ID, vpn)
+				})
+				g.translationReady(vpn, tlb.Entry{PFN: pte.PFN, Writable: pte.Writable})
+			})
+		})
+	})
+}
+
+// translationReady fills the TLBs and releases every waiter merged on vpn.
+func (g *GPU) translationReady(vpn memdef.VPN, e tlb.Entry) {
+	waiters := g.mshr.Complete(vpn)
+	g.l2tlb.Fill(vpn, e)
+	for _, w := range waiters {
+		g.st.DemandMiss.Add(g.engine.Now() - w.missStart)
+		g.st.DemandMissHist.Add(g.engine.Now() - w.missStart)
+		if w.write && !e.Writable {
+			// Write to a read-only mapping (a replica): permission fault.
+			w := w
+			if g.mshr.Add(vpn, w) == tlb.Allocated {
+				g.farFault(vpn, true)
+			}
+			continue
+		}
+		g.l1tlbs[w.cu].Fill(vpn, e)
+		g.dataAccess(w.cu, vpn, workload.Access{VA: w.va, Write: w.write}, e, w.done)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Data path: local hierarchy or remote mapping over NVLink (§3.2).
+// ---------------------------------------------------------------------------
+
+// dataAccess performs the memory access once translated.
+func (g *GPU) dataAccess(cu int, vpn memdef.VPN, acc workload.Access, e tlb.Entry, done func()) {
+	if g.OnTranslated != nil {
+		g.OnTranslated(g.ID, vpn, e.PFN)
+	}
+	dev := e.PFN.Device()
+	pa := memdef.PAddr(uint64(e.PFN)<<g.machine.PageSize.OffsetBits() |
+		memdef.PageOffset(acc.VA, g.machine.PageSize))
+	if dev == g.device() {
+		g.st.LocalAccesses++
+		g.data.Access(cu, pa, acc.Write, done)
+		return
+	}
+	g.st.RemoteAccesses++
+	g.countRemote(vpn)
+	if dev.IsCPU() {
+		g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
+			g.engine.Schedule(g.machine.DRAMLatency, func() {
+				g.net.CPUToGPU(g.ID, 2*memdef.CachelineBytes, done)
+			})
+		})
+		return
+	}
+	owner := dev.GPUIndex()
+	// Request goes out on NVLink; the owner's remote-access engine serves
+	// it from DRAM (remote data is not cached locally, §3.2). The engine
+	// pool serializes fine-grained remote reads — the NUMA throughput
+	// penalty that makes page migration worthwhile.
+	peer := g
+	if g.peers != nil && owner < len(g.peers) && g.peers[owner] != nil {
+		peer = g.peers[owner]
+	}
+	occupancy := g.machine.RemoteEngineOccupancy
+	g.net.GPUToGPU(g.ID, owner, memdef.ControlMsgBytes, func() {
+		respond := func() {
+			g.engine.Schedule(g.machine.DRAMLatency+g.machine.RemoteDRAMExtra, func() {
+				g.net.GPUToGPU(owner, g.ID, 2*memdef.CachelineBytes, done)
+			})
+		}
+		if peer.remoteService == nil {
+			respond()
+			return
+		}
+		peer.remoteService.Acquire(func(release func()) {
+			g.engine.Schedule(occupancy, release)
+			respond()
+		})
+	})
+}
+
+// countRemote advances the access counter and fires a migration request at
+// the threshold (§3.3, access-counter policy only). Counters track aligned
+// regions of MigrationBlockPages pages, matching the region-granular access
+// counters of Volta-class GPUs; the request names the accessed page and the
+// driver migrates its whole block.
+func (g *GPU) region(vpn memdef.VPN) memdef.VPN {
+	if g.machine.MigrationBlockPages > 1 {
+		return vpn / memdef.VPN(g.machine.MigrationBlockPages)
+	}
+	return vpn
+}
+
+func (g *GPU) countRemote(vpn memdef.VPN) {
+	if g.scheme.Policy != config.AccessCounter {
+		return
+	}
+	region := g.region(vpn)
+	g.counters[region]++
+	if g.counters[region] < g.machine.AccessCounterThreshold {
+		return
+	}
+	g.counters[region] = 0
+	g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
+		g.host.RequestMigration(g.ID, vpn)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Driver-facing port (driver.GPUPort).
+// ---------------------------------------------------------------------------
+
+// ReceiveInvalidation handles a PTE-invalidation request per the active
+// scheme: TLB shootdown is always immediate (§6.3); the PTE path is a full
+// walk (baseline), an IRMB insert (lazy), or free (zero-latency).
+func (g *GPU) ReceiveInvalidation(vpn memdef.VPN, ack func()) {
+	g.st.InvalReceived++
+	receipt := g.engine.Now()
+	g.shootdown(vpn)
+	g.shotDown[vpn] = true
+	g.invalEpoch[vpn]++
+	delete(g.counters, g.region(vpn))
+	if g.prt != nil {
+		g.prt.InvalidateVPN(vpn)
+	}
+	g.invalidateDataCache(vpn)
+
+	switch {
+	case g.scheme.ZeroLatencyInval:
+		if g.gmmu.PageTable().Invalidate(vpn) {
+			g.st.InvalNecessary++
+		} else {
+			g.st.InvalUnnecessary++
+		}
+		// The PTE is already invalid; in-flight walks re-read it at
+		// completion, so the fence can drop immediately.
+		delete(g.shotDown, vpn)
+		g.st.Inval.Add(0)
+		ack()
+	case g.irmb != nil:
+		delete(g.shotDown, vpn) // the IRMB entry itself marks staleness
+		g.irmbReceipt[vpn] = receipt
+		wb := g.irmb.Insert(vpn)
+		g.st.IRMBInserts++
+		if len(wb) > 0 {
+			g.st.IRMBEvictions++
+			g.writebackBatch(wb)
+		} else if !g.scheme.NoIdleDrain && g.gmmu.Idle() {
+			// The walker is already idle; without this kick the entry would
+			// sit buffered until some other walk's completion fires the
+			// idle hook.
+			g.engine.Schedule(1, g.drainIRMB)
+		}
+		// Buffered: the invalidation is out of the walker's way. Ack now.
+		g.engine.Schedule(1, ack)
+	default:
+		g.gmmu.Invalidate(vpn, func(bool) {
+			delete(g.shotDown, vpn) // invalidation retired; fence drops
+			g.st.Inval.Add(g.engine.Now() - receipt)
+			g.st.InvalHist.Add(g.engine.Now() - receipt)
+			ack()
+		})
+	}
+}
+
+// shootdown removes vpn from every TLB level.
+func (g *GPU) shootdown(vpn memdef.VPN) {
+	g.l2tlb.Shootdown(vpn)
+	for _, l1 := range g.l1tlbs {
+		l1.Shootdown(vpn)
+	}
+}
+
+// invalidateDataCache flushes locally cached lines of a page this GPU owns,
+// since its bytes are about to move.
+func (g *GPU) invalidateDataCache(vpn memdef.VPN) {
+	pte, ok := g.gmmu.PageTable().Lookup(vpn)
+	if !ok || !pte.Valid || pte.PFN.Device() != g.device() {
+		return
+	}
+	base := memdef.PAddr(uint64(pte.PFN) << g.machine.PageSize.OffsetBits())
+	g.data.InvalidatePage(base, g.machine.PageSize.Bytes())
+}
+
+// writebackBatch sends an evicted merged entry to the walker as one batch.
+// Each VPN stays marked stale (pendingWB) until its own invalidation lands;
+// a fresh mapping arriving meanwhile cancels that VPN's write-back entirely.
+func (g *GPU) writebackBatch(vpns []memdef.VPN) {
+	g.st.IRMBWritebacks += uint64(len(vpns))
+	for _, v := range vpns {
+		g.pendingWB[v] = true
+	}
+	g.gmmu.InvalidateBatchFiltered(vpns,
+		func(v memdef.VPN) bool { return !g.pendingWB[v] },
+		func(v memdef.VPN, _ bool) {
+			delete(g.pendingWB, v)
+			if t, ok := g.irmbReceipt[v]; ok {
+				g.st.Inval.Add(g.engine.Now() - t)
+				g.st.InvalHist.Add(g.engine.Now() - t)
+				delete(g.irmbReceipt, v)
+			}
+		},
+		nil)
+}
+
+// drainIRMB is the GMMU idle hook: push the LRU merged entry to the page
+// table while the walker has nothing better to do (§6.3 "IRMB writeback").
+func (g *GPU) drainIRMB() {
+	if g.irmb == nil || g.irmb.Empty() || !g.gmmu.Idle() {
+		return
+	}
+	batch := g.irmb.DrainLRU()
+	g.st.IRMBDrains++
+	g.writebackBatch(batch)
+}
+
+// ReceiveMapping installs a driver-provided translation: the IRMB entry (if
+// any) is dropped — the PTE is about to be overwritten, no invalidation walk
+// needed (§6.3) — the PTE update rides the walk queue, and blocked waiters
+// release immediately since the translation itself is now known.
+func (g *GPU) ReceiveMapping(vpn memdef.VPN, pte pagetable.PTE) {
+	if g.irmb != nil {
+		annihilated := g.irmb.Remove(vpn)
+		if g.pendingWB[vpn] {
+			// Cancel the in-flight write-back: the incoming update will
+			// overwrite the stale PTE anyway.
+			delete(g.pendingWB, vpn)
+			annihilated = true
+		}
+		if annihilated {
+			if t, ok := g.irmbReceipt[vpn]; ok {
+				// The buffered invalidation was annihilated by the new
+				// mapping: its whole cost was the IRMB insert.
+				g.st.Inval.Add(g.engine.Now() - t)
+				g.st.InvalHist.Add(g.engine.Now() - t)
+				delete(g.irmbReceipt, vpn)
+			}
+		}
+	}
+	g.shootdown(vpn) // replace any stale cached translation (e.g. downgrades)
+	delete(g.shotDown, vpn)
+	delete(g.counters, g.region(vpn))
+	epoch := g.invalEpoch[vpn]
+	g.gmmu.UpdateUnless(vpn, pte, func() bool { return g.invalEpoch[vpn] != epoch }, nil)
+	if g.mshr.Pending(vpn) {
+		g.translationReady(vpn, tlb.Entry{PFN: pte.PFN, Writable: pte.Writable})
+	}
+}
+
+// ReceivePRTInsert records a Trans-FW fingerprint update.
+func (g *GPU) ReceivePRTInsert(vpn memdef.VPN, holder int) {
+	if g.prt != nil && holder != g.ID {
+		g.prt.Insert(vpn, holder)
+	}
+}
+
+// Preinstall writes a pre-placed mapping into the local page table before
+// simulation begins (see driver.Preinstall). TLBs stay cold.
+func (g *GPU) Preinstall(vpn memdef.VPN, pte pagetable.PTE) {
+	g.gmmu.PageTable().Map(vpn, pte)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

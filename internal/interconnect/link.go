@@ -1,0 +1,145 @@
+// Package interconnect models the multi-GPU system's links: an all-to-all
+// NVLink-v2 fabric between GPUs (300 GB/s per directed link) and a PCIe-v4
+// connection from each GPU to the CPU/UVM driver (32 GB/s), per Table 2.
+//
+// Each directed link serializes messages at its bandwidth (bytes per cycle
+// of the 1 GHz clock: 300 B/cy for NVLink, 32 B/cy for PCIe) and then adds a
+// fixed propagation latency. Contention therefore appears as serialization
+// queueing — the effect behind the paper's observation that broadcasting
+// invalidations congests the interconnect even when they cost zero cycles on
+// the GPUs (§7.1).
+package interconnect
+
+import (
+	"idyll/internal/sim"
+)
+
+// Link is a single directed channel.
+type Link struct {
+	engine        *sim.Engine
+	bytesPerCycle float64
+	propagation   sim.VTime
+	nextFree      sim.VTime
+
+	messages  uint64
+	bytesSent uint64
+	busyTime  sim.VTime
+}
+
+// NewLink builds a directed link with the given bandwidth (bytes per cycle)
+// and propagation delay (cycles).
+func NewLink(engine *sim.Engine, bytesPerCycle float64, propagation sim.VTime) *Link {
+	if bytesPerCycle <= 0 {
+		panic("interconnect: non-positive bandwidth")
+	}
+	return &Link{engine: engine, bytesPerCycle: bytesPerCycle, propagation: propagation}
+}
+
+// Send transmits a message of the given size and invokes deliver when the
+// last byte arrives at the far end. Messages on one link are serialized in
+// send order.
+func (l *Link) Send(bytes int, deliver func()) {
+	if bytes <= 0 {
+		bytes = 1
+	}
+	now := l.engine.Now()
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	ser := sim.VTime(float64(bytes)/l.bytesPerCycle + 0.999999)
+	if ser < 1 {
+		ser = 1
+	}
+	l.nextFree = start + ser
+	l.messages++
+	l.bytesSent += uint64(bytes)
+	l.busyTime += ser
+	l.engine.ScheduleAt(l.nextFree+l.propagation, deliver)
+}
+
+// Stats reports messages, bytes, and busy cycles on this link.
+func (l *Link) Stats() (messages, bytes uint64, busy sim.VTime) {
+	return l.messages, l.bytesSent, l.busyTime
+}
+
+// Network is the system fabric: directed GPU↔GPU links and directed
+// GPU↔CPU links.
+type Network struct {
+	numGPUs int
+	gpuGPU  [][]*Link // [from][to], nil on the diagonal
+	gpuCPU  []*Link   // GPU → CPU
+	cpuGPU  []*Link   // CPU → GPU
+}
+
+// Config sets link parameters for a Network.
+type Config struct {
+	NumGPUs int
+	// NVLinkBytesPerCycle is the inter-GPU bandwidth (Table 2: 300 GB/s at
+	// 1 GHz = 300 bytes/cycle).
+	NVLinkBytesPerCycle float64
+	// NVLinkLatency is the propagation delay between GPUs.
+	NVLinkLatency sim.VTime
+	// PCIeBytesPerCycle is the CPU↔GPU bandwidth (Table 2: 32 GB/s = 32 B/cy).
+	PCIeBytesPerCycle float64
+	// PCIeLatency is the propagation delay between a GPU and the CPU.
+	PCIeLatency sim.VTime
+}
+
+// NewNetwork builds the all-to-all fabric.
+func NewNetwork(engine *sim.Engine, cfg Config) *Network {
+	n := &Network{
+		numGPUs: cfg.NumGPUs,
+		gpuGPU:  make([][]*Link, cfg.NumGPUs),
+		gpuCPU:  make([]*Link, cfg.NumGPUs),
+		cpuGPU:  make([]*Link, cfg.NumGPUs),
+	}
+	for i := 0; i < cfg.NumGPUs; i++ {
+		n.gpuGPU[i] = make([]*Link, cfg.NumGPUs)
+		for j := 0; j < cfg.NumGPUs; j++ {
+			if i != j {
+				n.gpuGPU[i][j] = NewLink(engine, cfg.NVLinkBytesPerCycle, cfg.NVLinkLatency)
+			}
+		}
+		n.gpuCPU[i] = NewLink(engine, cfg.PCIeBytesPerCycle, cfg.PCIeLatency)
+		n.cpuGPU[i] = NewLink(engine, cfg.PCIeBytesPerCycle, cfg.PCIeLatency)
+	}
+	return n
+}
+
+// NumGPUs reports the number of GPUs on the fabric.
+func (n *Network) NumGPUs() int { return n.numGPUs }
+
+// GPUToGPU sends a message between two distinct GPUs.
+func (n *Network) GPUToGPU(from, to, bytes int, deliver func()) {
+	if from == to {
+		panic("interconnect: GPU self-send")
+	}
+	n.gpuGPU[from][to].Send(bytes, deliver)
+}
+
+// GPUToCPU sends a message from a GPU to the host.
+func (n *Network) GPUToCPU(gpu, bytes int, deliver func()) {
+	n.gpuCPU[gpu].Send(bytes, deliver)
+}
+
+// CPUToGPU sends a message from the host to a GPU.
+func (n *Network) CPUToGPU(gpu, bytes int, deliver func()) {
+	n.cpuGPU[gpu].Send(bytes, deliver)
+}
+
+// TotalBytes reports bytes carried on the NVLink fabric and the PCIe links.
+func (n *Network) TotalBytes() (nvlink, pcie uint64) {
+	for i := 0; i < n.numGPUs; i++ {
+		for j := 0; j < n.numGPUs; j++ {
+			if l := n.gpuGPU[i][j]; l != nil {
+				_, b, _ := l.Stats()
+				nvlink += b
+			}
+		}
+		_, b1, _ := n.gpuCPU[i].Stats()
+		_, b2, _ := n.cpuGPU[i].Stats()
+		pcie += b1 + b2
+	}
+	return
+}

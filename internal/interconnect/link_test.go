@@ -1,0 +1,134 @@
+package interconnect
+
+import (
+	"testing"
+
+	"idyll/internal/sim"
+)
+
+func TestLinkLatencyAndSerialization(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 300, 200) // NVLink-like: 300 B/cy, 200 cy propagation
+	var arrive sim.VTime
+	l.Send(4096, func() { arrive = e.Now() }) // 4 KB page: ceil(4096/300)=14 cy
+	e.Run()
+	if arrive != 14+200 {
+		t.Fatalf("page arrived at %d, want 214", arrive)
+	}
+}
+
+func TestLinkBackToBackSerializes(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 32, 100) // PCIe-like
+	var first, second sim.VTime
+	l.Send(64, func() { first = e.Now() })  // ser 2 cy → arrives 102
+	l.Send(64, func() { second = e.Now() }) // starts at 2, ser 2 → arrives 104
+	e.Run()
+	if first != 102 || second != 104 {
+		t.Fatalf("arrivals = %d,%d; want 102,104", first, second)
+	}
+}
+
+func TestLinkFreesAfterIdle(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 64, 10)
+	var second sim.VTime
+	l.Send(64, func() {})
+	e.Schedule(100, func() {
+		l.Send(64, func() { second = e.Now() })
+	})
+	e.Run()
+	// Second send starts fresh at t=100: 1 cycle ser + 10 propagation.
+	if second != 111 {
+		t.Fatalf("second arrival = %d, want 111", second)
+	}
+}
+
+func TestLinkMinimumOneCycle(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 1000, 0)
+	var at sim.VTime = -1
+	l.Send(8, func() { at = e.Now() })
+	e.Run()
+	if at != 1 {
+		t.Fatalf("tiny message arrived at %d, want 1", at)
+	}
+}
+
+func TestLinkStats(t *testing.T) {
+	e := sim.NewEngine()
+	l := NewLink(e, 100, 5)
+	l.Send(100, func() {})
+	l.Send(300, func() {})
+	e.Run()
+	msgs, bytes, busy := l.Stats()
+	if msgs != 2 || bytes != 400 {
+		t.Fatalf("msgs=%d bytes=%d", msgs, bytes)
+	}
+	if busy != 1+3 {
+		t.Fatalf("busy = %d, want 4", busy)
+	}
+}
+
+func TestNetworkTopology(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e, Config{
+		NumGPUs:             4,
+		NVLinkBytesPerCycle: 300, NVLinkLatency: 200,
+		PCIeBytesPerCycle: 32, PCIeLatency: 600,
+	})
+	if n.NumGPUs() != 4 {
+		t.Fatal("wrong GPU count")
+	}
+	var viaNVLink, viaPCIe sim.VTime
+	n.GPUToGPU(0, 3, 64, func() { viaNVLink = e.Now() })
+	n.GPUToCPU(2, 64, func() { viaPCIe = e.Now() })
+	e.Run()
+	if viaNVLink != 201 {
+		t.Fatalf("NVLink control msg at %d, want 201", viaNVLink)
+	}
+	if viaPCIe != 602 {
+		t.Fatalf("PCIe control msg at %d, want 602", viaPCIe)
+	}
+}
+
+func TestNetworkLinksAreIndependent(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e, Config{
+		NumGPUs:             2,
+		NVLinkBytesPerCycle: 1, NVLinkLatency: 0,
+		PCIeBytesPerCycle: 1, PCIeLatency: 0,
+	})
+	var a, b sim.VTime
+	// Opposite directions must not serialize against each other.
+	n.GPUToGPU(0, 1, 10, func() { a = e.Now() })
+	n.GPUToGPU(1, 0, 10, func() { b = e.Now() })
+	e.Run()
+	if a != 10 || b != 10 {
+		t.Fatalf("duplex arrivals = %d,%d; want 10,10", a, b)
+	}
+}
+
+func TestNetworkSelfSendPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e, Config{NumGPUs: 2, NVLinkBytesPerCycle: 1, PCIeBytesPerCycle: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-send did not panic")
+		}
+	}()
+	n.GPUToGPU(1, 1, 8, func() {})
+}
+
+func TestNetworkByteAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewNetwork(e, Config{NumGPUs: 2, NVLinkBytesPerCycle: 10, PCIeBytesPerCycle: 10})
+	n.GPUToGPU(0, 1, 4096, func() {})
+	n.GPUToCPU(0, 64, func() {})
+	n.CPUToGPU(1, 64, func() {})
+	e.Run()
+	nv, pcie := n.TotalBytes()
+	if nv != 4096 || pcie != 128 {
+		t.Fatalf("nvlink=%d pcie=%d", nv, pcie)
+	}
+}

@@ -1,0 +1,168 @@
+// Package memdef defines the address-space vocabulary shared by every other
+// package: virtual/physical addresses, virtual page numbers, page geometry
+// for 4 KB and 2 MB pages, radix page-table level indexing, and the IRMB
+// base/offset split of a VPN described in §6.3 of the paper.
+//
+// The layout follows x86-64 4-level paging: a 48-bit virtual address is
+// <9 bits L4><9 bits L3><9 bits L2><9 bits L1><12 bits page offset> for 4 KB
+// pages; a 2 MB page drops the L1 level and widens the page offset to 21
+// bits. (The paper's Figure 9 draws five levels L5..L1; the mechanism is
+// level-count agnostic, and both the paper's IRMB arithmetic — 36-bit base,
+// 9-bit offset — and ours treat "everything above the last level" as the
+// base.)
+package memdef
+
+import "fmt"
+
+// VAddr is a virtual address.
+type VAddr uint64
+
+// PAddr is a physical address. Physical addresses are globally unique across
+// the system: bits above GPUFrameBits select the owning device (device 0 is
+// the CPU/host, device k is GPU k-1).
+type PAddr uint64
+
+// VPN is a virtual page number: the virtual address shifted right by the
+// page-offset width.
+type VPN uint64
+
+// PFN is a physical frame number.
+type PFN uint64
+
+// DeviceID names a memory-owning device. The CPU is device 0; GPU k is
+// device k+1.
+type DeviceID int
+
+// CPUDevice is the host's device ID.
+const CPUDevice DeviceID = 0
+
+// GPUDevice returns the device ID of GPU gpu (0-based).
+func GPUDevice(gpu int) DeviceID { return DeviceID(gpu + 1) }
+
+// GPUIndex returns the 0-based GPU index of a GPU device, or -1 for the CPU.
+func (d DeviceID) GPUIndex() int { return int(d) - 1 }
+
+// IsCPU reports whether the device is the host.
+func (d DeviceID) IsCPU() bool { return d == CPUDevice }
+
+func (d DeviceID) String() string {
+	if d.IsCPU() {
+		return "CPU"
+	}
+	return fmt.Sprintf("GPU%d", d.GPUIndex())
+}
+
+// GPUFrameBits is the number of frame-number bits reserved for the
+// frame-within-device portion of a PFN; bits above it encode the device.
+const GPUFrameBits = 36
+
+// MakePFN composes a global physical frame number from a device and a local
+// frame index.
+func MakePFN(dev DeviceID, frame uint64) PFN {
+	return PFN(uint64(dev)<<GPUFrameBits | frame&(1<<GPUFrameBits-1))
+}
+
+// Device extracts the owning device from a PFN.
+func (p PFN) Device() DeviceID { return DeviceID(uint64(p) >> GPUFrameBits) }
+
+// Frame extracts the device-local frame index from a PFN.
+func (p PFN) Frame() uint64 { return uint64(p) & (1<<GPUFrameBits - 1) }
+
+// PageSize describes one of the two supported page geometries.
+type PageSize int
+
+const (
+	// Page4K is the 4 KB baseline page size (Table 2).
+	Page4K PageSize = iota
+	// Page2M is the 2 MB large page evaluated in §7.3.
+	Page2M
+)
+
+// Bytes returns the page size in bytes.
+func (s PageSize) Bytes() uint64 {
+	if s == Page2M {
+		return 2 << 20
+	}
+	return 4 << 10
+}
+
+// OffsetBits returns the width of the in-page offset.
+func (s PageSize) OffsetBits() uint {
+	if s == Page2M {
+		return 21
+	}
+	return 12
+}
+
+// Levels returns the number of radix page-table levels for this page size
+// (4 KB → 4 levels L4..L1; 2 MB → 3 levels L4..L2).
+func (s PageSize) Levels() int {
+	if s == Page2M {
+		return 3
+	}
+	return 4
+}
+
+func (s PageSize) String() string {
+	if s == Page2M {
+		return "2MB"
+	}
+	return "4KB"
+}
+
+// levelIndexBits is the number of VPN bits consumed per radix level.
+const levelIndexBits = 9
+
+// PageNum returns the virtual page number of va under page size s.
+func PageNum(va VAddr, s PageSize) VPN { return VPN(uint64(va) >> s.OffsetBits()) }
+
+// PageBase returns the first virtual address of the page containing va.
+func PageBase(va VAddr, s PageSize) VAddr {
+	return VAddr(uint64(va) &^ (s.Bytes() - 1))
+}
+
+// PageOffset returns va's offset within its page.
+func PageOffset(va VAddr, s PageSize) uint64 { return uint64(va) & (s.Bytes() - 1) }
+
+// Addr returns the first virtual address of page v under page size s.
+func (v VPN) Addr(s PageSize) VAddr { return VAddr(uint64(v) << s.OffsetBits()) }
+
+// LevelIndex extracts the radix index of vpn at the given level, where level
+// 1 is the leaf (PTE) level and higher levels are closer to the root. For a
+// page table with L levels, valid levels are 1..L.
+func LevelIndex(vpn VPN, level int) uint64 {
+	return uint64(vpn) >> (uint(level-1) * levelIndexBits) & (1<<levelIndexBits - 1)
+}
+
+// LevelPrefix returns the VPN bits above and including the given level's
+// index — the key a page-walk cache uses to identify the page-table node
+// *entry* visited at that level.
+func LevelPrefix(vpn VPN, level int) uint64 {
+	return uint64(vpn) >> (uint(level-1) * levelIndexBits)
+}
+
+// IRMB base/offset split (§6.3): the leaf-level index (9 bits for both page
+// sizes, since each radix level consumes 9 bits) is the offset and everything
+// above it is the base, so invalidations to pages sharing all non-leaf levels
+// merge into one IRMB entry and share the same last-level page-walk-cache
+// entry during write-back.
+
+// IRMBBase returns the merged-entry base for vpn: all VPN bits above the
+// leaf-level index.
+func IRMBBase(vpn VPN) uint64 { return uint64(vpn) >> levelIndexBits }
+
+// IRMBOffset returns the 9-bit leaf-level index of vpn.
+func IRMBOffset(vpn VPN) uint16 { return uint16(uint64(vpn) & (1<<levelIndexBits - 1)) }
+
+// IRMBJoin reassembles a VPN from a base and an offset.
+func IRMBJoin(base uint64, offset uint16) VPN {
+	return VPN(base<<levelIndexBits | uint64(offset)&(1<<levelIndexBits-1))
+}
+
+// CachelineBytes is the transfer granularity for remote data accesses
+// (§3.2: data is fetched from remote GPUs at cacheline granularity).
+const CachelineBytes = 64
+
+// ControlMsgBytes is the modelled size of a control message (invalidation
+// request, ack, fault notification, translation reply) on the interconnect.
+const ControlMsgBytes = 64

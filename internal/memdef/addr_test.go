@@ -1,0 +1,131 @@
+package memdef
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageGeometry(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page4K.OffsetBits() != 12 || Page4K.Levels() != 4 {
+		t.Fatal("4KB geometry wrong")
+	}
+	if Page2M.Bytes() != 2<<20 || Page2M.OffsetBits() != 21 || Page2M.Levels() != 3 {
+		t.Fatal("2MB geometry wrong")
+	}
+}
+
+func TestPageNumAndBase(t *testing.T) {
+	va := VAddr(0x12345678)
+	if got := PageNum(va, Page4K); got != 0x12345 {
+		t.Fatalf("PageNum 4K = %#x, want 0x12345", got)
+	}
+	if got := PageBase(va, Page4K); got != 0x12345000 {
+		t.Fatalf("PageBase 4K = %#x", got)
+	}
+	if got := PageOffset(va, Page4K); got != 0x678 {
+		t.Fatalf("PageOffset 4K = %#x", got)
+	}
+	if got := PageNum(va, Page2M); got != 0x12345678>>21 {
+		t.Fatalf("PageNum 2M = %#x", got)
+	}
+}
+
+func TestVPNAddrRoundTrip(t *testing.T) {
+	prop := func(raw uint64) bool {
+		for _, s := range []PageSize{Page4K, Page2M} {
+			vpn := VPN(raw & (1<<40 - 1))
+			if PageNum(vpn.Addr(s), s) != vpn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelIndexDecomposition(t *testing.T) {
+	// VPN bits: L4 = 0x1ab, L3 = 0x0cd, L2 = 0x1ef, L1 = 0x123.
+	vpn := VPN(0x1ab<<27 | 0x0cd<<18 | 0x1ef<<9 | 0x123)
+	want := map[int]uint64{4: 0x1ab, 3: 0x0cd, 2: 0x1ef, 1: 0x123}
+	for level, w := range want {
+		if got := LevelIndex(vpn, level); got != w {
+			t.Errorf("LevelIndex(level %d) = %#x, want %#x", level, got, w)
+		}
+	}
+}
+
+func TestLevelIndexRecomposition(t *testing.T) {
+	prop := func(raw uint64) bool {
+		vpn := VPN(raw & (1<<36 - 1))
+		var rebuilt uint64
+		for level := 4; level >= 1; level-- {
+			rebuilt = rebuilt<<9 | LevelIndex(vpn, level)
+		}
+		return VPN(rebuilt) == vpn
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelPrefixNesting(t *testing.T) {
+	vpn := VPN(0x123456789)
+	for level := 1; level < 4; level++ {
+		// The prefix at level k+1 must be the prefix at level k shifted
+		// right by 9 bits.
+		if LevelPrefix(vpn, level)>>9 != LevelPrefix(vpn, level+1) {
+			t.Fatalf("prefix nesting broken at level %d", level)
+		}
+	}
+}
+
+func TestIRMBSplitRoundTrip(t *testing.T) {
+	prop := func(raw uint64) bool {
+		vpn := VPN(raw & (1<<45 - 1))
+		return IRMBJoin(IRMBBase(vpn), IRMBOffset(vpn)) == vpn
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRMBNeighboursShareBase(t *testing.T) {
+	vpn := VPN(0x40000) // offset 0 within its base
+	for i := VPN(0); i < 512; i++ {
+		if IRMBBase(vpn+i) != IRMBBase(vpn) {
+			t.Fatalf("vpn+%d has different base", i)
+		}
+	}
+	if IRMBBase(vpn+512) == IRMBBase(vpn) {
+		t.Fatal("vpn+512 should roll over to the next base")
+	}
+}
+
+func TestPFNDeviceEncoding(t *testing.T) {
+	prop := func(devRaw uint8, frame uint64) bool {
+		dev := DeviceID(devRaw % 33)
+		frame &= 1<<GPUFrameBits - 1
+		pfn := MakePFN(dev, frame)
+		return pfn.Device() == dev && pfn.Frame() == frame
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceIDHelpers(t *testing.T) {
+	if !CPUDevice.IsCPU() {
+		t.Fatal("CPUDevice not CPU")
+	}
+	if GPUDevice(3).GPUIndex() != 3 {
+		t.Fatal("GPU index round trip failed")
+	}
+	if GPUDevice(0).IsCPU() {
+		t.Fatal("GPU0 misreported as CPU")
+	}
+	if CPUDevice.String() != "CPU" || GPUDevice(2).String() != "GPU2" {
+		t.Fatal("String() wrong")
+	}
+}

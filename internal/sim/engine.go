@@ -1,0 +1,175 @@
+// Package sim provides the deterministic discrete-event simulation engine
+// that drives every timed component in the IDYLL reproduction: a binary-heap
+// event queue with stable FIFO ordering among same-cycle events, a
+// multi-server resource with a bounded FIFO queue (used for walker threads
+// and host walkers), and a deterministic random number generator with a Zipf
+// sampler for workload generation.
+//
+// All simulated time is expressed in VTime cycles of the 1 GHz GPU clock.
+// The engine is strictly single-threaded: events are closures executed in
+// (time, insertion) order, so a run with a fixed seed is bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// VTime is a point in simulated time, in cycles of the 1 GHz GPU clock.
+type VTime int64
+
+// event is a scheduled closure. seq breaks ties so that events scheduled
+// earlier at the same cycle run first (stable FIFO within a cycle).
+type event struct {
+	at   VTime
+	seq  uint64
+	fn   func()
+	idx  int
+	dead bool
+}
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.idx = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Engine is the discrete-event simulation core. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     VTime
+	seq     uint64
+	queue   eventHeap
+	fired   uint64
+	running bool
+}
+
+// NewEngine returns an engine positioned at cycle 0 with an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() VTime { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule runs fn delay cycles from now. A delay of 0 runs fn later in the
+// current cycle, after all previously scheduled same-cycle events. It panics
+// on negative delays, which always indicate a modelling bug.
+func (e *Engine) Schedule(delay VTime, fn func()) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time t, which must not be in the past.
+func (e *Engine) ScheduleAt(t VTime, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel marks a scheduled event dead so it will be skipped. Cancelling an
+// already-fired or already-cancelled event is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() VTime {
+	return e.RunUntil(-1)
+}
+
+// RunUntil executes events with time <= limit (limit < 0 means no limit) and
+// returns the time of the last executed event, or the current time if none
+// executed. The engine's clock is left at the last executed event's time.
+func (e *Engine) RunUntil(limit VTime) VTime {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if limit >= 0 && next.at > limit {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	return e.now
+}
+
+// Step executes the single earliest live event, if any, and reports whether
+// one was executed.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}

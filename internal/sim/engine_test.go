@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []VTime
+	for _, d := range []VTime{30, 10, 20, 10, 0} {
+		d := d
+		e.Schedule(d, func() { order = append(order, e.Now()) })
+	}
+	end := e.Run()
+	if end != 30 {
+		t.Fatalf("final time = %d, want 30", end)
+	}
+	want := []VTime{0, 10, 10, 20, 30}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("event %d at %d, want %d", i, order[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameCycleFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-cycle order %v not FIFO", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []VTime
+	e.Schedule(1, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(2, func() {
+			hits = append(hits, e.Now())
+			e.Schedule(0, func() { hits = append(hits, e.Now()) })
+		})
+	})
+	e.Run()
+	want := []VTime{1, 3, 3}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestEngineZeroDelayRunsAfterCurrentCycleEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(0, func() {
+		order = append(order, "a")
+		e.Schedule(0, func() { order = append(order, "c") })
+	})
+	e.Schedule(0, func() { order = append(order, "b") })
+	e.Run()
+	if got := order[0] + order[1] + order[2]; got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for _, d := range []VTime{5, 10, 15, 20} {
+		e.Schedule(d, func() { count++ })
+	}
+	e.RunUntil(12)
+	if count != 2 {
+		t.Fatalf("ran %d events by t=12, want 2", count)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if count != 4 {
+		t.Fatalf("ran %d events total, want 4", count)
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(10, func() { ran = true })
+	e.Cancel(id)
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("after one step n = %d, want 1", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("after two steps n = %d, want 2", n)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty queue reported an event")
+	}
+}
+
+func TestEnginePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestEnginePanicsOnPastSchedule(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+// Property: for any set of non-negative delays, events fire in
+// non-decreasing time order and all of them fire.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var times []VTime
+		for _, d := range delays {
+			e.Schedule(VTime(d), func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		if len(times) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

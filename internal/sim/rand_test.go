@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds matched %d/100 draws", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn(10) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("Intn(10) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(3)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(9)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) hit rate = %v", frac)
+	}
+}
+
+func TestZipfRankZeroHottest(t *testing.T) {
+	r := NewRand(11)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Rank()]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[50] {
+		t.Fatalf("Zipf counts not decreasing: c0=%d c10=%d c50=%d",
+			counts[0], counts[10], counts[50])
+	}
+	// With s=1 over 100 ranks, rank 0 should carry roughly 1/H_100 ≈ 19%.
+	frac := float64(counts[0]) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("Zipf rank-0 mass = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfAllRanksReachable(t *testing.T) {
+	r := NewRand(13)
+	z := NewZipf(r, 5, 0.5)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		rank := z.Rank()
+		if rank < 0 || rank >= 5 {
+			t.Fatalf("rank %d out of range", rank)
+		}
+		seen[rank] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("only %d/5 ranks sampled", len(seen))
+	}
+}

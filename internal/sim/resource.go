@@ -1,0 +1,121 @@
+package sim
+
+// Resource models a pool of identical servers fronted by a bounded FIFO
+// queue — the shape of the GMMU's page-table walker (8 threads behind a
+// 64-entry page-walk queue) and of the host-side walker.
+//
+// A job acquires a server by calling Acquire with a closure; the closure
+// receives a release function that must be called exactly once when the job's
+// (possibly multi-event) work is done. If all servers are busy the job waits
+// in the FIFO. If the FIFO is full Acquire reports false and the caller must
+// retry later (backpressure).
+type Resource struct {
+	engine   *Engine
+	servers  int
+	busy     int
+	capacity int // queue capacity; <0 means unbounded
+	queue    []func(release func())
+
+	// OnIdle, if non-nil, is invoked whenever a server frees and the queue is
+	// empty — i.e. the resource has spare capacity. The IRMB uses this hook to
+	// drain merged invalidation entries "when the page table walker is
+	// available" (§6.3).
+	OnIdle func()
+
+	// Stats
+	peakQueue  int
+	totalJobs  uint64
+	queuedJobs uint64
+	rejected   uint64
+}
+
+// NewResource returns a resource with the given number of servers and queue
+// capacity (queueCap < 0 means unbounded).
+func NewResource(engine *Engine, servers, queueCap int) *Resource {
+	if servers <= 0 {
+		panic("sim: resource needs at least one server")
+	}
+	return &Resource{engine: engine, servers: servers, capacity: queueCap}
+}
+
+// Servers reports the number of servers in the pool.
+func (r *Resource) Servers() int { return r.servers }
+
+// Busy reports how many servers are currently held.
+func (r *Resource) Busy() int { return r.busy }
+
+// QueueLen reports the number of jobs waiting for a server.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// PeakQueueLen reports the maximum queue length observed.
+func (r *Resource) PeakQueueLen() int { return r.peakQueue }
+
+// TotalJobs reports how many jobs have been accepted.
+func (r *Resource) TotalJobs() uint64 { return r.totalJobs }
+
+// QueuedJobs reports how many accepted jobs had to wait in the queue.
+func (r *Resource) QueuedJobs() uint64 { return r.queuedJobs }
+
+// Rejected reports how many Acquire calls were refused due to a full queue.
+func (r *Resource) Rejected() uint64 { return r.rejected }
+
+// Idle reports whether at least one server is free and nothing is queued.
+func (r *Resource) Idle() bool { return r.busy < r.servers && len(r.queue) == 0 }
+
+// Acquire requests a server for job. It reports false (and does not retain
+// job) if the wait queue is full. Otherwise job will eventually run with a
+// release function that must be called exactly once.
+func (r *Resource) Acquire(job func(release func())) bool {
+	if job == nil {
+		panic("sim: nil resource job")
+	}
+	r.totalJobs++
+	if r.busy < r.servers && len(r.queue) == 0 {
+		r.busy++
+		job(r.makeRelease())
+		return true
+	}
+	if r.capacity >= 0 && len(r.queue) >= r.capacity {
+		r.totalJobs--
+		r.rejected++
+		return false
+	}
+	r.queuedJobs++
+	r.queue = append(r.queue, job)
+	if len(r.queue) > r.peakQueue {
+		r.peakQueue = len(r.queue)
+	}
+	return true
+}
+
+// makeRelease builds the single-use release callback for a running job.
+func (r *Resource) makeRelease() func() {
+	released := false
+	return func() {
+		if released {
+			panic("sim: double release of resource server")
+		}
+		released = true
+		// Releasing and redispatching happens as a fresh event so that the
+		// releasing job's stack unwinds first; this keeps call chains shallow
+		// and ordering intuitive (same-cycle FIFO).
+		r.engine.Schedule(0, r.dispatch)
+	}
+}
+
+// dispatch hands a freed server to the next queued job, or fires OnIdle.
+func (r *Resource) dispatch() {
+	r.busy--
+	if len(r.queue) > 0 {
+		next := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue[len(r.queue)-1] = nil
+		r.queue = r.queue[:len(r.queue)-1]
+		r.busy++
+		next(r.makeRelease())
+		return
+	}
+	if r.OnIdle != nil && r.busy < r.servers {
+		r.OnIdle()
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// holdFor acquires the resource and holds a server for d cycles.
+func holdFor(e *Engine, r *Resource, d VTime, done func()) bool {
+	return r.Acquire(func(release func()) {
+		e.Schedule(d, func() {
+			release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+func TestResourceServesUpToCapacityConcurrently(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2, -1)
+	var finish []VTime
+	for i := 0; i < 4; i++ {
+		holdFor(e, r, 10, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	// 2 servers, 4 jobs of 10 cycles: first two finish at 10, next two at 20.
+	want := []VTime{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1, -1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func(release func()) {
+			order = append(order, i)
+			e.Schedule(1, release)
+		})
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("service order %v not FIFO", order)
+		}
+	}
+}
+
+func TestResourceBoundedQueueRejects(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1, 2)
+	accepted := 0
+	for i := 0; i < 5; i++ {
+		if holdFor(e, r, 10, nil) {
+			accepted++
+		}
+	}
+	// 1 running + 2 queued = 3 accepted, 2 rejected.
+	if accepted != 3 {
+		t.Fatalf("accepted %d jobs, want 3", accepted)
+	}
+	if r.Rejected() != 2 {
+		t.Fatalf("rejected = %d, want 2", r.Rejected())
+	}
+	e.Run()
+	if r.Busy() != 0 || r.QueueLen() != 0 {
+		t.Fatalf("resource not drained: busy=%d queue=%d", r.Busy(), r.QueueLen())
+	}
+}
+
+func TestResourceOnIdleFiresWhenDrained(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2, -1)
+	idleCalls := 0
+	r.OnIdle = func() { idleCalls++ }
+	for i := 0; i < 3; i++ {
+		holdFor(e, r, 5, nil)
+	}
+	e.Run()
+	// OnIdle fires on each release that leaves the queue empty: the releases
+	// at t=5 (one of them drains the queue into the free server; the other
+	// finds the queue empty) and the final release at t=10.
+	if idleCalls == 0 {
+		t.Fatal("OnIdle never fired")
+	}
+	if !r.Idle() {
+		t.Fatal("resource should be idle after drain")
+	}
+}
+
+func TestResourceDoubleReleasePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1, -1)
+	r.Acquire(func(release func()) {
+		e.Schedule(1, func() {
+			release()
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic on double release")
+				}
+			}()
+			release()
+		})
+	})
+	e.Run()
+}
+
+func TestResourceStats(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1, -1)
+	for i := 0; i < 3; i++ {
+		holdFor(e, r, 2, nil)
+	}
+	e.Run()
+	if r.TotalJobs() != 3 {
+		t.Fatalf("total = %d, want 3", r.TotalJobs())
+	}
+	if r.QueuedJobs() != 2 {
+		t.Fatalf("queued = %d, want 2", r.QueuedJobs())
+	}
+	if r.PeakQueueLen() != 2 {
+		t.Fatalf("peak queue = %d, want 2", r.PeakQueueLen())
+	}
+}
+
+// Property: with any job durations, every accepted job eventually completes
+// and the number of simultaneously held servers never exceeds the pool size.
+func TestResourceNeverOversubscribedProperty(t *testing.T) {
+	prop := func(durations []uint8, servers8 uint8) bool {
+		servers := int(servers8%4) + 1
+		e := NewEngine()
+		r := NewResource(e, servers, -1)
+		completed := 0
+		inFlight, peak := 0, 0
+		for _, d := range durations {
+			d := VTime(d % 20)
+			r.Acquire(func(release func()) {
+				inFlight++
+				if inFlight > peak {
+					peak = inFlight
+				}
+				e.Schedule(d, func() {
+					inFlight--
+					completed++
+					release()
+				})
+			})
+		}
+		e.Run()
+		return completed == len(durations) && peak <= servers
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

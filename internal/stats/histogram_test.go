@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"idyll/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []sim.VTime{1, 2, 4, 8, 1000} {
+		h.Add(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Mean() != 203 {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Max() != 1000 {
+		t.Fatalf("max = %d", h.Max())
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 99; i++ {
+		h.Add(10)
+	}
+	h.Add(100000)
+	p50 := h.Percentile(50)
+	if p50 < 10 || p50 > 16 {
+		t.Fatalf("p50 = %d, want ≈10..16", p50)
+	}
+	p100 := h.Percentile(100)
+	if p100 != 100000 {
+		t.Fatalf("p100 = %d, want the max", p100)
+	}
+	if h.Percentile(99) > p100 {
+		t.Fatal("p99 exceeds p100")
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatal("negative sample mishandled")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(10)
+	b.Add(1000)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 1000 {
+		t.Fatalf("merge lost samples: count=%d max=%d", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramBucketCounts(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3) // bucket [2,4)
+	h.Add(3)
+	h.Add(100) // bucket [64,128)
+	bcs := h.BucketCounts()
+	if len(bcs) != 2 {
+		t.Fatalf("buckets = %+v", bcs)
+	}
+	if bcs[0].Lower != 2 || bcs[0].Count != 2 {
+		t.Fatalf("first bucket = %+v", bcs[0])
+	}
+	if bcs[1].Lower != 64 || bcs[1].Count != 1 {
+		t.Fatalf("second bucket = %+v", bcs[1])
+	}
+}
+
+func TestHistogramStringMentionsStats(t *testing.T) {
+	h := NewHistogram()
+	h.Add(5)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=5", "max=5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+}
+
+// Properties: percentiles are monotone in p, and every percentile upper
+// bound is ≥ the true value's bucket lower bound.
+func TestHistogramPercentileMonotoneProperty(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range raw {
+			h.Add(sim.VTime(v))
+		}
+		prev := sim.VTime(0)
+		for _, p := range []float64{1, 25, 50, 75, 90, 99, 100} {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Percentile(100) >= sim.VTime(maxOf(raw))/2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func maxOf(vs []uint16) uint16 {
+	m := uint16(0)
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

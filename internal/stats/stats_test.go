@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+)
+
+func TestLatencyAccumulator(t *testing.T) {
+	var l Latency
+	for _, v := range []sim.VTime{10, 20, 30} {
+		l.Add(v)
+	}
+	if l.Count != 3 || l.Sum != 60 || l.Max != 30 {
+		t.Fatalf("latency = %+v", l)
+	}
+	if l.Mean() != 20 {
+		t.Fatalf("mean = %v", l.Mean())
+	}
+	var empty Latency
+	if empty.Mean() != 0 {
+		t.Fatal("empty mean not 0")
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	s := NewSim()
+	s.Instructions = 10000
+	s.L2TLBLookups = 600
+	s.L2TLBHits = 100
+	if got := s.MPKI(); got != 50 {
+		t.Fatalf("MPKI = %v, want 50", got)
+	}
+	if (NewSim()).MPKI() != 0 {
+		t.Fatal("MPKI with no instructions should be 0")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base, opt := NewSim(), NewSim()
+	base.ExecCycles = 2000
+	opt.ExecCycles = 1000
+	if got := opt.Speedup(base); got != 2 {
+		t.Fatalf("speedup = %v", got)
+	}
+}
+
+func TestUnnecessaryInvalFraction(t *testing.T) {
+	s := NewSim()
+	s.InvalNecessary = 68
+	s.InvalUnnecessary = 32
+	if got := s.UnnecessaryInvalFraction(); math.Abs(got-0.32) > 1e-12 {
+		t.Fatalf("fraction = %v", got)
+	}
+}
+
+func TestSharingDistribution(t *testing.T) {
+	sh := NewSharing()
+	// Page 1: GPUs 0,1,2,3 access it, 4 accesses total.
+	for g := 0; g < 4; g++ {
+		sh.Record(1, g)
+	}
+	// Page 2: only GPU 0, 6 accesses.
+	for i := 0; i < 6; i++ {
+		sh.Record(2, 0)
+	}
+	dist := sh.AccessDistribution(4)
+	if math.Abs(dist[4]-0.4) > 1e-12 {
+		t.Fatalf("shared-by-4 = %v, want 0.4", dist[4])
+	}
+	if math.Abs(dist[1]-0.6) > 1e-12 {
+		t.Fatalf("one-GPU = %v, want 0.6", dist[1])
+	}
+	if got := sh.SharedAccessRatio(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("shared ratio = %v", got)
+	}
+	if sh.Pages() != 2 {
+		t.Fatalf("pages = %d", sh.Pages())
+	}
+}
+
+func TestSharingDistributionSums(t *testing.T) {
+	sh := NewSharing()
+	for i := 0; i < 100; i++ {
+		sh.Record(memdef.VPN(i%7), i%3)
+	}
+	dist := sh.AccessDistribution(4)
+	sum := 0.0
+	for _, f := range dist {
+		sum += f
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func TestHottestPages(t *testing.T) {
+	sh := NewSharing()
+	for i := 0; i < 5; i++ {
+		sh.Record(100, 0)
+	}
+	for i := 0; i < 3; i++ {
+		sh.Record(200, 0)
+	}
+	sh.Record(300, 0)
+	hot := sh.HottestPages(2)
+	if len(hot) != 2 || hot[0] != 100 || hot[1] != 200 {
+		t.Fatalf("hottest = %v", hot)
+	}
+	if got := sh.HottestPages(10); len(got) != 3 {
+		t.Fatalf("clamped hottest = %v", got)
+	}
+}
+
+func TestSummaryMentionsKeyNumbers(t *testing.T) {
+	s := NewSim()
+	s.ExecCycles = 12345
+	s.Migrations = 7
+	out := s.Summary()
+	for _, want := range []string{"12345", "migrations=7"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary %q missing %q", out, want)
+		}
+	}
+}

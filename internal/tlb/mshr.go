@@ -1,0 +1,77 @@
+package tlb
+
+import "idyll/internal/memdef"
+
+// MSHR is a miss-status holding register: it tracks virtual pages with an
+// outstanding translation and merges later requests to the same page onto
+// the existing entry. Per §6.3 this blocking is what guarantees that while a
+// far fault for a page is in flight, no other request to that page reaches
+// the GMMU — the property IDYLL's lazy invalidation relies on for
+// correctness.
+//
+// W is the caller's waiter payload (typically a request continuation).
+type MSHR[W any] struct {
+	capacity int
+	pending  map[memdef.VPN][]W
+
+	allocs uint64
+	merges uint64
+	full   uint64
+}
+
+// NewMSHR builds an MSHR with the given entry capacity (capacity <= 0 means
+// unbounded).
+func NewMSHR[W any](capacity int) *MSHR[W] {
+	return &MSHR[W]{capacity: capacity, pending: make(map[memdef.VPN][]W)}
+}
+
+// Outcome reports what happened to a Lookup-and-allocate attempt.
+type Outcome int
+
+const (
+	// Allocated means vpn had no outstanding miss; a new entry now tracks it
+	// and the caller must launch the translation.
+	Allocated Outcome = iota
+	// Merged means vpn already had an outstanding miss; the waiter was
+	// appended and the caller must NOT launch another translation.
+	Merged
+	// Full means the MSHR has no free entry; the caller must retry later.
+	Full
+)
+
+// Add registers waiter for vpn.
+func (m *MSHR[W]) Add(vpn memdef.VPN, waiter W) Outcome {
+	if ws, ok := m.pending[vpn]; ok {
+		m.pending[vpn] = append(ws, waiter)
+		m.merges++
+		return Merged
+	}
+	if m.capacity > 0 && len(m.pending) >= m.capacity {
+		m.full++
+		return Full
+	}
+	m.pending[vpn] = []W{waiter}
+	m.allocs++
+	return Allocated
+}
+
+// Pending reports whether vpn has an outstanding miss.
+func (m *MSHR[W]) Pending(vpn memdef.VPN) bool {
+	_, ok := m.pending[vpn]
+	return ok
+}
+
+// Complete removes vpn's entry and returns its waiters in arrival order.
+func (m *MSHR[W]) Complete(vpn memdef.VPN) []W {
+	ws := m.pending[vpn]
+	delete(m.pending, vpn)
+	return ws
+}
+
+// Len reports the number of outstanding entries.
+func (m *MSHR[W]) Len() int { return len(m.pending) }
+
+// Stats reports allocations, merges, and full rejections.
+func (m *MSHR[W]) Stats() (allocs, merges, full uint64) {
+	return m.allocs, m.merges, m.full
+}

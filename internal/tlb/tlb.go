@@ -1,0 +1,94 @@
+// Package tlb models the GPU TLB hierarchy of §3.1: a private, fully
+// associative L1 TLB per compute unit and a large set-associative L2 TLB
+// shared by all CUs, plus the L2 TLB's miss-status holding register (MSHR)
+// that merges concurrent misses to the same virtual page.
+package tlb
+
+import (
+	"idyll/internal/cache"
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+)
+
+// Entry is a cached translation: the physical frame (which encodes the
+// owning device, so remote mappings are directly visible) and the write
+// permission, needed by the page-replication policy to trap writes to
+// read-only replicas.
+type Entry struct {
+	PFN      memdef.PFN
+	Writable bool
+}
+
+// TLB is one translation lookaside buffer level.
+type TLB struct {
+	c       *cache.SetAssoc[memdef.VPN, Entry]
+	latency sim.VTime
+
+	shootdowns     uint64
+	shootdownHits  uint64
+	flushedEntries uint64
+}
+
+// Config describes a TLB level's geometry and lookup latency.
+type Config struct {
+	Entries int
+	Ways    int
+	Latency sim.VTime
+}
+
+// New builds a TLB. A fully associative TLB has Ways == Entries (one set).
+func New(cfg Config) *TLB {
+	sets := cfg.Entries / cfg.Ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &TLB{
+		c:       cache.New[memdef.VPN, Entry](sets, cfg.Ways, func(v memdef.VPN) uint64 { return uint64(v) }),
+		latency: cfg.Latency,
+	}
+}
+
+// Latency reports the lookup latency in cycles.
+func (t *TLB) Latency() sim.VTime { return t.latency }
+
+// Lookup probes the TLB for vpn.
+func (t *TLB) Lookup(vpn memdef.VPN) (Entry, bool) { return t.c.Lookup(vpn) }
+
+// Fill installs a translation.
+func (t *TLB) Fill(vpn memdef.VPN, e Entry) { t.c.Insert(vpn, e) }
+
+// Shootdown invalidates vpn and reports whether it was resident. Shootdowns
+// are immediate in both baseline and IDYLL (§6.3: "upon receiving an
+// invalidation request, the TLB is immediately invalidated").
+func (t *TLB) Shootdown(vpn memdef.VPN) bool {
+	t.shootdowns++
+	if t.c.Invalidate(vpn) {
+		t.shootdownHits++
+		return true
+	}
+	return false
+}
+
+// Flush empties the TLB.
+func (t *TLB) Flush() {
+	t.flushedEntries += uint64(t.c.Len())
+	t.c.Flush()
+}
+
+// Len reports resident entries.
+func (t *TLB) Len() int { return t.c.Len() }
+
+// HitRate reports the lookup hit rate.
+func (t *TLB) HitRate() float64 { return t.c.HitRate() }
+
+// Lookups reports total lookups.
+func (t *TLB) Lookups() uint64 { return t.c.Lookups() }
+
+// Hits reports total hits.
+func (t *TLB) Hits() uint64 { return t.c.Hits() }
+
+// Shootdowns reports how many shootdown requests were received and how many
+// actually removed a resident entry.
+func (t *TLB) Shootdowns() (requests, hits uint64) {
+	return t.shootdowns, t.shootdownHits
+}

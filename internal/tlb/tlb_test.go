@@ -1,0 +1,177 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"idyll/internal/memdef"
+)
+
+func newL1() *TLB {
+	// Table 2: L1 TLB, 32 entries, fully associative (32-way), 1 cycle.
+	return New(Config{Entries: 32, Ways: 32, Latency: 1})
+}
+
+func newL2() *TLB {
+	// Table 2: L2 TLB, 512 entries, 16-way, 10 cycles.
+	return New(Config{Entries: 512, Ways: 16, Latency: 10})
+}
+
+func TestFillLookup(t *testing.T) {
+	l1 := newL1()
+	e := Entry{PFN: memdef.MakePFN(memdef.GPUDevice(1), 3), Writable: true}
+	l1.Fill(100, e)
+	got, ok := l1.Lookup(100)
+	if !ok || got != e {
+		t.Fatalf("Lookup = %+v,%v", got, ok)
+	}
+	if _, ok := l1.Lookup(101); ok {
+		t.Fatal("phantom hit")
+	}
+}
+
+func TestL1FullyAssociativeCapacity(t *testing.T) {
+	l1 := newL1()
+	for v := memdef.VPN(0); v < 32; v++ {
+		l1.Fill(v, Entry{})
+	}
+	if l1.Len() != 32 {
+		t.Fatalf("len = %d, want 32", l1.Len())
+	}
+	// The 33rd fill evicts the LRU (vpn 0), regardless of address bits —
+	// fully associative TLBs have a single set.
+	l1.Fill(1<<30, Entry{})
+	if l1.Len() != 32 {
+		t.Fatalf("len = %d after overflow, want 32", l1.Len())
+	}
+	if _, ok := l1.Lookup(0); ok {
+		t.Fatal("LRU entry survived in full L1")
+	}
+}
+
+func TestL2SetAssociativity(t *testing.T) {
+	l2 := newL2()
+	// 512/16 = 32 sets. VPNs congruent mod 32 share a set; 17 of them must
+	// overflow a 16-way set while leaving other sets untouched.
+	for i := 0; i < 17; i++ {
+		l2.Fill(memdef.VPN(i*32), Entry{})
+	}
+	if l2.Len() != 16 {
+		t.Fatalf("set holds %d entries, want 16", l2.Len())
+	}
+}
+
+func TestShootdown(t *testing.T) {
+	l2 := newL2()
+	l2.Fill(7, Entry{})
+	if !l2.Shootdown(7) {
+		t.Fatal("shootdown of resident entry must hit")
+	}
+	if l2.Shootdown(7) {
+		t.Fatal("second shootdown must miss")
+	}
+	if _, ok := l2.Lookup(7); ok {
+		t.Fatal("entry survived shootdown")
+	}
+	req, hits := l2.Shootdowns()
+	if req != 2 || hits != 1 {
+		t.Fatalf("shootdown stats = %d,%d", req, hits)
+	}
+}
+
+func TestFlush(t *testing.T) {
+	l1 := newL1()
+	for v := memdef.VPN(0); v < 10; v++ {
+		l1.Fill(v, Entry{})
+	}
+	l1.Flush()
+	if l1.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+}
+
+func TestHitRateAccounting(t *testing.T) {
+	l1 := newL1()
+	l1.Fill(1, Entry{})
+	l1.Lookup(1)
+	l1.Lookup(2)
+	if l1.Lookups() != 2 || l1.Hits() != 1 {
+		t.Fatalf("lookups=%d hits=%d", l1.Lookups(), l1.Hits())
+	}
+	if l1.HitRate() != 0.5 {
+		t.Fatalf("hit rate = %v", l1.HitRate())
+	}
+}
+
+func TestMSHRMergesSamePage(t *testing.T) {
+	m := NewMSHR[int](8)
+	if got := m.Add(5, 1); got != Allocated {
+		t.Fatalf("first add = %v, want Allocated", got)
+	}
+	if got := m.Add(5, 2); got != Merged {
+		t.Fatalf("second add = %v, want Merged", got)
+	}
+	if got := m.Add(6, 3); got != Allocated {
+		t.Fatalf("other page = %v, want Allocated", got)
+	}
+	ws := m.Complete(5)
+	if len(ws) != 2 || ws[0] != 1 || ws[1] != 2 {
+		t.Fatalf("waiters = %v", ws)
+	}
+	if m.Pending(5) {
+		t.Fatal("entry survived Complete")
+	}
+	if !m.Pending(6) {
+		t.Fatal("unrelated entry lost")
+	}
+}
+
+func TestMSHRCapacity(t *testing.T) {
+	m := NewMSHR[int](2)
+	m.Add(1, 0)
+	m.Add(2, 0)
+	if got := m.Add(3, 0); got != Full {
+		t.Fatalf("overflow add = %v, want Full", got)
+	}
+	// Merging into an existing entry is allowed even when full.
+	if got := m.Add(1, 9); got != Merged {
+		t.Fatalf("merge while full = %v, want Merged", got)
+	}
+	m.Complete(1)
+	if got := m.Add(3, 0); got != Allocated {
+		t.Fatalf("add after free = %v, want Allocated", got)
+	}
+	_, _, full := m.Stats()
+	if full != 1 {
+		t.Fatalf("full count = %d", full)
+	}
+}
+
+// Property: for any interleaving of adds, every waiter comes back exactly
+// once via Complete, in arrival order per page.
+func TestMSHRWaiterConservationProperty(t *testing.T) {
+	prop := func(pages []uint8) bool {
+		m := NewMSHR[int](0)
+		want := map[memdef.VPN][]int{}
+		for i, p := range pages {
+			vpn := memdef.VPN(p % 16)
+			m.Add(vpn, i)
+			want[vpn] = append(want[vpn], i)
+		}
+		for vpn, ws := range want {
+			got := m.Complete(vpn)
+			if len(got) != len(ws) {
+				return false
+			}
+			for i := range ws {
+				if got[i] != ws[i] {
+					return false
+				}
+			}
+		}
+		return m.Len() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

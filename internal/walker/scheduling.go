@@ -1,0 +1,256 @@
+package walker
+
+import (
+	"idyll/internal/memdef"
+	"idyll/internal/pagetable"
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+)
+
+// SchedPolicy selects how the walk queue orders demand walks against
+// invalidation/update walks. The paper's baseline shares a single FIFO
+// (§3.3: invalidations are "performed in a way similar to the conventional
+// address translation procedure"); the page-walk-scheduling prior art it
+// contrasts with in Table 1 ([61] Pratheek et al., [65] Shin et al.)
+// prioritizes between request classes instead. These policies let the
+// repo's ablations quantify how much of IDYLL's benefit a scheduler could
+// recover on its own (the paper argues: not the invalidation volume).
+type SchedPolicy int
+
+const (
+	// FIFO is the baseline single queue.
+	FIFO SchedPolicy = iota
+	// DemandFirst always serves demand translation walks before buffered
+	// invalidation/update work.
+	DemandFirst
+	// RoundRobin alternates between the demand class and the maintenance
+	// (invalidation/update) class when both are waiting.
+	RoundRobin
+)
+
+func (p SchedPolicy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case DemandFirst:
+		return "demand-first"
+	case RoundRobin:
+		return "round-robin"
+	}
+	return "unknown"
+}
+
+// reqClass tags a queued walk for the scheduler.
+type reqClass int
+
+const (
+	classDemand reqClass = iota
+	classMaintenance
+)
+
+// schedJob is one queued walk.
+type schedJob struct {
+	class reqClass
+	run   func(release func())
+}
+
+// scheduler wraps the walker thread pool with a two-class queue. It
+// preserves FIFO order within a class.
+type scheduler struct {
+	engine   *sim.Engine
+	policy   SchedPolicy
+	servers  int
+	busy     int
+	capacity int
+	demand   []schedJob
+	maint    []schedJob
+	lastPick reqClass
+	onIdle   func()
+
+	rejected uint64
+}
+
+func newScheduler(engine *sim.Engine, policy SchedPolicy, servers, capacity int) *scheduler {
+	return &scheduler{engine: engine, policy: policy, servers: servers, capacity: capacity}
+}
+
+func (s *scheduler) queueLen() int { return len(s.demand) + len(s.maint) }
+
+func (s *scheduler) idle() bool { return s.busy < s.servers && s.queueLen() == 0 }
+
+// acquire submits a classed walk; reports false when the queue is full.
+func (s *scheduler) acquire(class reqClass, run func(release func())) bool {
+	if s.busy < s.servers && s.queueLen() == 0 {
+		s.busy++
+		run(s.release())
+		return true
+	}
+	if s.capacity >= 0 && s.queueLen() >= s.capacity {
+		s.rejected++
+		return false
+	}
+	if class == classDemand {
+		s.demand = append(s.demand, schedJob{class, run})
+	} else {
+		s.maint = append(s.maint, schedJob{class, run})
+	}
+	return true
+}
+
+func (s *scheduler) release() func() {
+	done := false
+	return func() {
+		if done {
+			panic("walker: double release")
+		}
+		done = true
+		s.engine.Schedule(0, s.dispatch)
+	}
+}
+
+// pick selects the next job according to the policy.
+func (s *scheduler) pick() (schedJob, bool) {
+	takeDemand := func() (schedJob, bool) {
+		if len(s.demand) == 0 {
+			return schedJob{}, false
+		}
+		j := s.demand[0]
+		s.demand = s.demand[1:]
+		return j, true
+	}
+	takeMaint := func() (schedJob, bool) {
+		if len(s.maint) == 0 {
+			return schedJob{}, false
+		}
+		j := s.maint[0]
+		s.maint = s.maint[1:]
+		return j, true
+	}
+	switch s.policy {
+	case DemandFirst:
+		if j, ok := takeDemand(); ok {
+			return j, true
+		}
+		return takeMaint()
+	case RoundRobin:
+		if s.lastPick == classDemand {
+			if j, ok := takeMaint(); ok {
+				s.lastPick = classMaintenance
+				return j, true
+			}
+			return takeDemand()
+		}
+		if j, ok := takeDemand(); ok {
+			s.lastPick = classDemand
+			return j, true
+		}
+		return takeMaint()
+	default: // FIFO over both classes: approximate by demand-age... the
+		// baseline enqueues into one list; emulate by draining whichever
+		// class has the older head. Since jobs carry no timestamps, we
+		// interleave fairly: demand first on ties (demand misses arrived
+		// via the TLB path are latency-critical in both designs).
+		if len(s.demand) > 0 && len(s.maint) > 0 {
+			if s.lastPick == classDemand {
+				s.lastPick = classMaintenance
+				return takeMaint()
+			}
+			s.lastPick = classDemand
+			return takeDemand()
+		}
+		if j, ok := takeDemand(); ok {
+			return j, true
+		}
+		return takeMaint()
+	}
+}
+
+func (s *scheduler) dispatch() {
+	s.busy--
+	if j, ok := s.pick(); ok {
+		s.busy++
+		j.run(s.release())
+		return
+	}
+	if s.onIdle != nil && s.busy < s.servers {
+		s.onIdle()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled GMMU variant.
+// ---------------------------------------------------------------------------
+
+// ScheduledGMMU is a GMMU whose walk queue applies a SchedPolicy between
+// demand and maintenance walks. The plain GMMU remains the paper-faithful
+// single-FIFO baseline; this variant exists for the scheduling ablation.
+type ScheduledGMMU struct {
+	*GMMU
+	sched *scheduler
+}
+
+// NewScheduled builds a GMMU with a classed walk queue.
+func NewScheduled(engine *sim.Engine, pt *pagetable.Table, cfg Config,
+	policy SchedPolicy, st *stats.Sim) *ScheduledGMMU {
+	inner := New(engine, pt, cfg, st)
+	return &ScheduledGMMU{
+		GMMU:  inner,
+		sched: newScheduler(engine, policy, cfg.Threads, cfg.QueueCapacity),
+	}
+}
+
+// DemandScheduled enqueues a demand walk through the scheduler.
+func (sg *ScheduledGMMU) DemandScheduled(vpn memdef.VPN, done func(pagetable.PTE, bool)) {
+	sg.st.WalkerDemand++
+	sg.enqueueClassed(classDemand, func(release func()) {
+		visits, pte, ok := sg.pt.Walk(vpn)
+		cost := sg.walkCost(visits)
+		sg.engine.Schedule(cost, func() {
+			release()
+			done(pte, ok)
+		})
+	})
+}
+
+// InvalidateScheduled enqueues an invalidation walk through the scheduler.
+func (sg *ScheduledGMMU) InvalidateScheduled(vpn memdef.VPN, done func(bool)) {
+	sg.st.WalkerInval++
+	sg.enqueueClassed(classMaintenance, func(release func()) {
+		visits, _, _ := sg.pt.Walk(vpn)
+		cost := sg.walkCost(visits)
+		sg.st.InvalBusy += cost
+		sg.engine.Schedule(cost, func() {
+			wasValid := sg.pt.Invalidate(vpn)
+			if wasValid {
+				sg.st.InvalNecessary++
+			} else {
+				sg.st.InvalUnnecessary++
+			}
+			release()
+			done(wasValid)
+		})
+	})
+}
+
+func (sg *ScheduledGMMU) enqueueClassed(class reqClass, job func(release func())) {
+	if sg.sched.acquire(class, job) {
+		return
+	}
+	sg.st.WalkQueueRejects++
+	sg.engine.Schedule(sg.cfg.RetryDelay, func() { sg.enqueueClassed(class, job) })
+}
+
+// Policy reports the scheduling policy.
+func (sg *ScheduledGMMU) Policy() SchedPolicy { return sg.sched.policy }
+
+// SchedulerIdle reports whether the classed queue is drained with a free
+// walker, and SetSchedulerOnIdle installs the idle hook (mirrors GMMU's
+// IRMB drain trigger for schemes that combine scheduling with lazy
+// invalidation).
+func (sg *ScheduledGMMU) SchedulerIdle() bool { return sg.sched.idle() }
+
+// SetSchedulerOnIdle installs fn as the classed queue's idle hook.
+func (sg *ScheduledGMMU) SetSchedulerOnIdle(fn func()) { sg.sched.onIdle = fn }
+
+// Rejected reports walks refused due to a full classed queue.
+func (sg *ScheduledGMMU) Rejected() uint64 { return sg.sched.rejected }

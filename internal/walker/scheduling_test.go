@@ -1,0 +1,137 @@
+package walker
+
+import (
+	"testing"
+
+	"idyll/internal/memdef"
+	"idyll/internal/pagetable"
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+)
+
+func newScheduled(policy SchedPolicy, threads int) (*sim.Engine, *ScheduledGMMU, *pagetable.Table) {
+	e := sim.NewEngine()
+	pt := pagetable.New(memdef.Page4K)
+	cfg := DefaultConfig()
+	cfg.Threads = threads
+	return e, NewScheduled(e, pt, cfg, policy, stats.NewSim()), pt
+}
+
+// Queue a maintenance burst then a demand walk with one walker thread: the
+// demand-first policy must serve the demand walk before the rest of the
+// burst; FIFO-ish interleave makes it wait longer.
+func demandFinishAfterBurst(t *testing.T, policy SchedPolicy) sim.VTime {
+	t.Helper()
+	e, g, pt := newScheduled(policy, 1)
+	for i := 0; i < 8; i++ {
+		vpn := memdef.VPN(i * 1000)
+		pt.Map(vpn, pagetable.PTE{Valid: true})
+	}
+	pt.Map(9999, pagetable.PTE{Valid: true})
+	// First job occupies the walker; the rest queue as maintenance.
+	for i := 0; i < 8; i++ {
+		g.InvalidateScheduled(memdef.VPN(i*1000), func(bool) {})
+	}
+	var demandDone sim.VTime = -1
+	g.DemandScheduled(9999, func(pte pagetable.PTE, ok bool) {
+		if !ok || !pte.Valid {
+			t.Error("demand walk failed")
+		}
+		demandDone = e.Now()
+	})
+	e.Run()
+	if demandDone < 0 {
+		t.Fatal("demand walk never finished")
+	}
+	return demandDone
+}
+
+func TestDemandFirstBeatsFIFOUnderInvalBurst(t *testing.T) {
+	df := demandFinishAfterBurst(t, DemandFirst)
+	fifo := demandFinishAfterBurst(t, FIFO)
+	if df >= fifo {
+		t.Fatalf("demand-first (%d) should finish the demand walk before FIFO (%d)", df, fifo)
+	}
+}
+
+func TestRoundRobinBetweenClasses(t *testing.T) {
+	rr := demandFinishAfterBurst(t, RoundRobin)
+	fifo := demandFinishAfterBurst(t, FIFO)
+	// Round-robin alternates classes, so a single demand walk behind a burst
+	// is served after at most one maintenance job — not worse than FIFO.
+	if rr > fifo {
+		t.Fatalf("round-robin (%d) worse than FIFO (%d)", rr, fifo)
+	}
+}
+
+func TestScheduledGMMUCompletesEverything(t *testing.T) {
+	e, g, pt := newScheduled(DemandFirst, 2)
+	const n = 30
+	for i := 0; i < n; i++ {
+		pt.Map(memdef.VPN(i), pagetable.PTE{Valid: true})
+	}
+	done := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			g.InvalidateScheduled(memdef.VPN(i), func(bool) { done++ })
+		} else {
+			g.DemandScheduled(memdef.VPN(i), func(pagetable.PTE, bool) { done++ })
+		}
+	}
+	e.Run()
+	if done != n {
+		t.Fatalf("completed %d/%d scheduled walks", done, n)
+	}
+}
+
+func TestScheduledBackpressureRetries(t *testing.T) {
+	e := sim.NewEngine()
+	pt := pagetable.New(memdef.Page4K)
+	cfg := DefaultConfig()
+	cfg.Threads = 1
+	cfg.QueueCapacity = 2
+	g := NewScheduled(e, pt, cfg, DemandFirst, stats.NewSim())
+	done := 0
+	for i := 0; i < 12; i++ {
+		g.DemandScheduled(memdef.VPN(i), func(pagetable.PTE, bool) { done++ })
+	}
+	e.Run()
+	if done != 12 {
+		t.Fatalf("completed %d/12 under backpressure", done)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if FIFO.String() != "fifo" || DemandFirst.String() != "demand-first" ||
+		RoundRobin.String() != "round-robin" {
+		t.Fatal("policy names wrong")
+	}
+	if SchedPolicy(99).String() != "unknown" {
+		t.Fatal("unknown policy name wrong")
+	}
+	if p := DemandFirst; NewScheduled(sim.NewEngine(), pagetable.New(memdef.Page4K),
+		DefaultConfig(), p, stats.NewSim()).Policy() != p {
+		t.Fatal("policy not stored")
+	}
+}
+
+func TestSchedulerIdleAndRejectedAccessors(t *testing.T) {
+	e, g, pt := newScheduled(DemandFirst, 1)
+	if !g.SchedulerIdle() {
+		t.Fatal("fresh scheduler not idle")
+	}
+	pt.Map(1, pagetable.PTE{Valid: true})
+	idleFired := false
+	g.SetSchedulerOnIdle(func() { idleFired = true })
+	g.DemandScheduled(1, func(pagetable.PTE, bool) {})
+	if g.SchedulerIdle() {
+		t.Fatal("scheduler idle while a walk runs")
+	}
+	e.Run()
+	if !g.SchedulerIdle() || !idleFired {
+		t.Fatal("idle hook did not fire after drain")
+	}
+	if g.Rejected() != 0 {
+		t.Fatal("phantom rejections")
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"idyll/internal/memdef"
+)
+
+// Trace file format: a compact binary encoding so generated workloads can
+// be saved once and replayed across experiments or shared with other tools
+// (cmd/idylltrace). Layout, little-endian:
+//
+//	magic "IDYT" | version u32 | gap u32 | instrPerAccess u32 |
+//	nameLen u32 | name bytes | numGPUs u32 |
+//	per GPU: numCUs u32 | per CU: numAccesses u32 |
+//	    per access: va u64 with bit 63 carrying the write flag
+//
+// Virtual addresses use at most 57 bits (48-bit VA space), so bit 63 is
+// free for the write flag.
+
+const (
+	traceMagic   = "IDYT"
+	traceVersion = 1
+	writeBit     = 1 << 63
+)
+
+// Save serializes the trace.
+func (t *Trace) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return err
+	}
+	u32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	u64 := func(v uint64) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := u32(traceVersion); err != nil {
+		return err
+	}
+	if err := u32(uint32(t.Params.ComputeGap)); err != nil {
+		return err
+	}
+	if err := u32(uint32(t.Params.InstrPerAccess)); err != nil {
+		return err
+	}
+	name := t.Params.Abbr
+	if err := u32(uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return err
+	}
+	if err := u32(uint32(t.NumGPUs)); err != nil {
+		return err
+	}
+	for _, gpu := range t.Accesses {
+		if err := u32(uint32(len(gpu))); err != nil {
+			return err
+		}
+		for _, cu := range gpu {
+			if err := u32(uint32(len(cu))); err != nil {
+				return err
+			}
+			for _, a := range cu {
+				v := uint64(a.VA)
+				if a.Write {
+					v |= writeBit
+				}
+				if err := u64(v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace written by Save.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("workload: reading magic: %w", err)
+	}
+	if string(magic) != traceMagic {
+		return nil, fmt.Errorf("workload: bad magic %q", magic)
+	}
+	var u32 func() (uint32, error)
+	u32 = func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	version, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("workload: unsupported trace version %d", version)
+	}
+	gap, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	instr, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	nameLen, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("workload: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	numGPUs, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if numGPUs == 0 || numGPUs > 1024 {
+		return nil, fmt.Errorf("workload: implausible GPU count %d", numGPUs)
+	}
+	t := &Trace{
+		Params: Params{
+			Abbr: string(name), Name: string(name), Suite: "replay",
+			ComputeGap: int(gap), InstrPerAccess: int(instr),
+		},
+		NumGPUs:  int(numGPUs),
+		Accesses: make([][][]Access, numGPUs),
+	}
+	for g := range t.Accesses {
+		numCUs, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		if numCUs > 1<<16 {
+			return nil, fmt.Errorf("workload: implausible CU count %d", numCUs)
+		}
+		t.Accesses[g] = make([][]Access, numCUs)
+		for c := range t.Accesses[g] {
+			n, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<28 {
+				return nil, fmt.Errorf("workload: implausible access count %d", n)
+			}
+			cu := make([]Access, n)
+			for i := range cu {
+				var v uint64
+				if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+					return nil, err
+				}
+				cu[i] = Access{VA: memdef.VAddr(v &^ writeBit), Write: v&writeBit != 0}
+			}
+			t.Accesses[g][c] = cu
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"idyll/internal/memdef"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	p, _ := App("KM")
+	orig := Generate(p, 2, 3, 40, 9)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumGPUs != orig.NumGPUs {
+		t.Fatalf("gpus = %d", got.NumGPUs)
+	}
+	if got.Params.Abbr != "KM" || got.Params.ComputeGap != p.ComputeGap ||
+		got.Params.InstrPerAccess != p.InstrPerAccess {
+		t.Fatalf("params lost: %+v", got.Params)
+	}
+	for g := range orig.Accesses {
+		for c := range orig.Accesses[g] {
+			for i, a := range orig.Accesses[g][c] {
+				if got.Accesses[g][c][i] != a {
+					t.Fatalf("access gpu%d cu%d i%d diverged", g, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceRoundTripPreservesWrites(t *testing.T) {
+	prop := func(vas []uint32, writes []bool) bool {
+		if len(vas) == 0 {
+			return true
+		}
+		cu := make([]Access, len(vas))
+		for i, va := range vas {
+			w := i < len(writes) && writes[i]
+			cu[i] = Access{VA: memdef.VAddr(va), Write: w}
+		}
+		orig := FromAccesses("prop", [][][]Access{{cu}}, 1, 1)
+		var buf bytes.Buffer
+		if orig.Save(&buf) != nil {
+			return false
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range cu {
+			if got.Accesses[0][0][i] != cu[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	p, _ := App("KM")
+	orig := Generate(p, 1, 1, 10, 1)
+	var buf bytes.Buffer
+	orig.Save(&buf)
+	raw := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(raw[:len(raw)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}
+
+func TestTraceBadVersion(t *testing.T) {
+	raw := []byte("IDYT\xff\xff\xff\xff")
+	if _, err := ReadTrace(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
