@@ -16,11 +16,14 @@ import (
 	"idyll/internal/sim"
 )
 
-// benchOptions is the reduced scale for benchmark runs.
+// benchOptions is the reduced scale for benchmark runs. Jobs is pinned to 1
+// so the per-figure benchmarks keep measuring simulator cost, not pool
+// scheduling; BenchmarkSuiteFig11Parallel measures the runner's scaling.
 func benchOptions() experiment.Options {
 	o := experiment.DefaultOptions()
 	o.CUsPerGPU = 8
 	o.AccessesPerCU = 300
+	o.Jobs = 1
 	return o
 }
 
@@ -135,6 +138,32 @@ func BenchmarkFig24DNN(b *testing.B) {
 
 func BenchmarkAblationDrainOnIdle(b *testing.B) {
 	benchFigure(b, "ablation-drain", "Drain on idle (default)", "idyll-speedup")
+}
+
+// BenchmarkSuiteFig11Serial and BenchmarkSuiteFig11Parallel regenerate the
+// headline figure's 54-cell matrix serially (-jobs=1) and on a full-width
+// pool (-jobs=0, all cores); the ratio of their wall times is the suite
+// runner's speedup on this machine. Output is byte-identical either way.
+func BenchmarkSuiteFig11Serial(b *testing.B) {
+	benchSuiteFig11(b, 1)
+}
+
+func BenchmarkSuiteFig11Parallel(b *testing.B) {
+	benchSuiteFig11(b, 0)
+}
+
+func benchSuiteFig11(b *testing.B, jobs int) {
+	o := benchOptions()
+	o.Jobs = jobs
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.Figure11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		headline, _ = tab.Get("IDYLL", "Ave.")
+	}
+	b.ReportMetric(headline, "idyll-speedup")
 }
 
 // BenchmarkSimulatePageRank measures raw simulator throughput: simulated

@@ -2,9 +2,15 @@
 // figure of the IDYLL paper (MICRO'23), printed as text tables in the same
 // row/column layout as the plots.
 //
+// Simulation cells (one (scheme, application) run each) fan out across a
+// bounded worker pool; tables on stdout are byte-identical at any -jobs
+// width, so output can be diffed across runs and machines. Progress and
+// timing go to stderr.
+//
 // Usage:
 //
-//	idyllbench                 # regenerate everything (several minutes)
+//	idyllbench                 # regenerate everything, all cores
+//	idyllbench -jobs 1         # serial (same output, slower)
 //	idyllbench -fig fig11      # one experiment
 //	idyllbench -list           # list experiment IDs
 //	idyllbench -cus 8 -accesses 300   # smaller scale
@@ -28,6 +34,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "workload seed (default: suite default)")
 		appsFlag = flag.String("apps", "", "comma-separated app subset (default: all)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
+		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = all cores)")
+		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
 	)
 	flag.Parse()
 
@@ -51,6 +59,7 @@ func main() {
 	if *appsFlag != "" {
 		o.Apps = splitCSV(*appsFlag)
 	}
+	o.Jobs = *jobs
 
 	entries := experiment.Registry()
 	if *fig != "" {
@@ -65,6 +74,9 @@ func main() {
 	start := time.Now()
 	for _, e := range entries {
 		t0 := time.Now()
+		if !*quiet {
+			o.Progress = experiment.ProgressPrinter(os.Stderr, e.ID)
+		}
 		tab, err := e.Run(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "idyllbench: %s: %v\n", e.ID, err)
@@ -83,9 +95,13 @@ func main() {
 		default:
 			body = tab.Render()
 		}
-		fmt.Printf("== %s (%.1fs) ==\n%s\n", e.ID, time.Since(t0).Seconds(), body)
+		// Tables go to stdout and depend only on (scale, seed, apps);
+		// timing goes to stderr so runs diff cleanly.
+		fmt.Printf("== %s ==\n%s\n", e.ID, body)
+		fmt.Fprintf(os.Stderr, "%s done in %.1fs\n", e.ID, time.Since(t0).Seconds())
 	}
-	fmt.Printf("regenerated %d experiments in %.1fs\n", len(entries), time.Since(start).Seconds())
+	fmt.Fprintf(os.Stderr, "regenerated %d experiments in %.1fs\n",
+		len(entries), time.Since(start).Seconds())
 }
 
 func splitCSV(s string) []string {

@@ -6,16 +6,22 @@
 //	idylltrace gen -app PR -out pr.trace              # generate + save
 //	idylltrace info pr.trace                          # summarize
 //	idylltrace run -scheme idyll pr.trace             # simulate a file
+//	idylltrace run -scheme all -jobs 4 pr.trace       # scheme sweep, parallel
+//
+// With a comma-separated -scheme list (or "all"), the schemes run
+// concurrently on the suite's worker pool, all replaying the same loaded
+// trace; summaries print in the order the schemes were named.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"idyll/internal/config"
+	"idyll/internal/experiment"
 	"idyll/internal/memdef"
-	"idyll/internal/system"
 	"idyll/internal/workload"
 )
 
@@ -39,7 +45,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   idylltrace gen  -app <abbr> [-gpus N] [-cus N] [-accesses N] [-seed N] -out FILE
   idylltrace info FILE
-  idylltrace run  [-scheme NAME] [-threshold N] FILE`)
+  idylltrace run  [-scheme NAME[,NAME...]|all] [-threshold N] [-jobs N] FILE`)
 	os.Exit(2)
 }
 
@@ -106,27 +112,59 @@ func cmdInfo(args []string) {
 
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
-	schemeName := fs.String("scheme", "idyll", "scheme")
+	schemeNames := fs.String("scheme", "idyll",
+		"scheme, comma-separated scheme list, or 'all'")
 	threshold := fs.Int("threshold", 2, "access-counter threshold")
+	jobs := fs.Int("jobs", 0, "concurrent scheme runs (0 = all cores)")
+	quiet := fs.Bool("quiet", false, "suppress the stderr progress display")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
 	t := loadTrace(fs.Arg(0))
-	scheme, err := schemeByName(*schemeName)
-	fatal(err)
+	names := *schemeNames
+	if names == "all" {
+		names = strings.Join(allSchemeNames(), ",")
+	}
 	m := config.Default()
-	m.NumGPUs = t.NumGPUs
-	m.CUsPerGPU = len(t.Accesses[0])
-	m.AccessCounterThreshold = *threshold
-	s, err := system.New(m, scheme)
+	m.AccessCounterThreshold = *threshold // trace geometry is set per cell
+
+	// Each scheme is one cell of the pool; every cell replays the same
+	// loaded trace (read-only during runs), so the sweep parallelizes
+	// without re-reading or regenerating anything.
+	o := experiment.Options{Jobs: *jobs, CounterThreshold: *threshold}
+	if !*quiet {
+		o.Progress = experiment.ProgressPrinter(os.Stderr, t.Params.Abbr)
+	}
+	var specs []experiment.CellSpec
+	var schemes []config.Scheme
+	for _, name := range strings.Split(names, ",") {
+		scheme, err := schemeByName(strings.TrimSpace(name))
+		fatal(err)
+		schemes = append(schemes, scheme)
+		specs = append(specs, experiment.CellSpec{
+			Figure: "trace", App: t.Params.Abbr,
+			Machine: m, Scheme: scheme, Trace: t,
+		})
+	}
+	res, err := experiment.RunCells(o, specs)
 	fatal(err)
-	st, err := s.Run(t)
-	fatal(err)
-	fmt.Println(st.Summary())
+	for i, st := range res {
+		if len(res) > 1 {
+			fmt.Printf("== %s ==\n", schemes[i].Name)
+		}
+		fmt.Println(st.Summary())
+	}
 }
 
-// schemeByName mirrors cmd/idyllsim's mapping.
+// schemeNameOrder mirrors cmd/idyllsim's scheme names, in stable sweep order.
+var schemeNameOrder = []string{
+	"baseline", "lazy", "inpte", "idyll", "inmem", "zero",
+	"first-touch", "on-touch", "replication", "transfw", "idyll+transfw",
+}
+
+func allSchemeNames() []string { return schemeNameOrder }
+
 func schemeByName(name string) (config.Scheme, error) {
 	switch name {
 	case "baseline":

@@ -54,7 +54,9 @@ type System = system.System
 // Table is a rendered experiment result (one paper table or figure).
 type Table = experiment.Table
 
-// ExperimentOptions sets the scale of the experiment suite.
+// ExperimentOptions sets the scale of the experiment suite and the width
+// of its concurrent cell pool (Jobs; 0 = all cores). Regenerated tables
+// are byte-identical at any Jobs width.
 type ExperimentOptions = experiment.Options
 
 // IRMBGeometry is an IRMB configuration (bases × offsets).
@@ -144,7 +146,9 @@ func NewSystem(m Machine, s Scheme) (*System, error) { return system.New(m, s) }
 func DefaultExperimentOptions() ExperimentOptions { return experiment.DefaultOptions() }
 
 // Experiment regenerates one paper table or figure by ID ("fig1".."fig24",
-// "table2", "table3", "ablation-drain").
+// "table2", "table3", "ablation-drain"). The figure's simulation cells run
+// concurrently on a pool of o.Jobs workers (0 = all cores) with output
+// independent of the pool width.
 func Experiment(id string, o ExperimentOptions) (*Table, error) {
 	e, err := experiment.Find(id)
 	if err != nil {

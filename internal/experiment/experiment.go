@@ -41,6 +41,15 @@ type Options struct {
 	// a threshold of 2 reproduces the paper's migrations-per-kiloaccess
 	// regime at default scale (see EXPERIMENTS.md "Calibration").
 	CounterThreshold int
+	// Jobs bounds how many simulation cells run concurrently
+	// (0 = runtime.GOMAXPROCS(0)). Results are independent of Jobs: every
+	// cell seeds its trace from (Seed, figure, app) alone — see CellSeed —
+	// so Jobs=1 and Jobs=N render byte-identical tables.
+	Jobs int
+	// Progress, when non-nil, is called after each cell a runner pass
+	// completes, with the finished count, the pass total, and a
+	// "figure app/scheme" label. Calls are serialized, never concurrent.
+	Progress func(done, total int, cell string)
 }
 
 // TraceScaleFactor is the trace-length scaling between the paper's full

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"idyll/internal/config"
+	"idyll/internal/workload"
 )
 
 // quick returns test-scale options over a reduced app set so the whole
@@ -84,25 +85,66 @@ func TestRegistryCoversEveryEvaluationFigure(t *testing.T) {
 	}
 }
 
-// Smoke-run the whole figure suite at tiny scale: every figure must produce
-// a table with the right shape and finite values.
-func TestEveryFigureRunsAtQuickScale(t *testing.T) {
+// Run every registry entry at quick scale and assert a non-empty,
+// well-formed table: the exact row count the paper's plot has, one column
+// per application plus "Ave." (or the entry's documented exception), every
+// row exactly as wide as the column list, every value finite and
+// non-negative. Subtests run in parallel with a 2-wide cell pool each, so
+// under -race this doubles as the shared-state regression test for the
+// concurrent runner.
+func TestRegistryEveryEntryWellFormed(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full figure suite in -short mode")
 	}
 	o := quick()
-	for _, e := range Registry() {
+	o.Jobs = 2
+	nApps := len(o.Apps)
+	// Rows per entry (the series count of the paper's plot); columns default
+	// to one per app plus "Ave.".
+	wantRows := map[string]int{
+		"fig1": 1, "fig2": 3, "table2": 15, "table3": 2, "fig4": 4,
+		"fig5": 3, "fig6": 3, "fig7": 3, "fig11": 5, "fig12": 1,
+		"fig13": 2, "fig14": 1, "fig15": 5, "fig16": 2, "fig17": 1,
+		"fig18": 2, "fig19": 3, "fig20": 3, "fig21": 1, "fig22": 1,
+		"fig23": 3, "fig24": 1, "ablation-drain": 2,
+	}
+	wantCols := map[string]int{
+		"fig1":   len(workload.Fig1Abbrs()) + 1, // fixed motivation-study app set
+		"table2": 1,                             // single "value" column
+		"fig24":  len(workload.DNNApps()) + 1,   // DNN workloads, not Table 3 apps
+	}
+	entries := Registry()
+	if len(entries) != len(wantRows) {
+		t.Fatalf("registry has %d entries, shape table has %d — update the test",
+			len(entries), len(wantRows))
+	}
+	for _, e := range entries {
 		e := e
+		rows, ok := wantRows[e.ID]
+		if !ok {
+			t.Fatalf("no expected shape for %s — update the test", e.ID)
+		}
+		cols := nApps + 1
+		if c, ok := wantCols[e.ID]; ok {
+			cols = c
+		}
 		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
 			tab, err := e.Run(o)
 			if err != nil {
 				t.Fatalf("%s: %v", e.ID, err)
 			}
-			if len(tab.Rows) == 0 || len(tab.Columns) == 0 {
-				t.Fatalf("%s: empty table", e.ID)
+			if len(tab.Rows) != rows {
+				t.Errorf("%s: %d rows, want %d", e.ID, len(tab.Rows), rows)
+			}
+			if len(tab.Columns) != cols {
+				t.Errorf("%s: %d columns, want %d", e.ID, len(tab.Columns), cols)
+			}
+			if tab.Title == "" {
+				t.Errorf("%s: empty title", e.ID)
 			}
 			for _, r := range tab.Rows {
-				if len(r.Values) != len(tab.Columns) && len(r.Values) != 1 {
+				if len(r.Values) != len(tab.Columns) {
 					t.Errorf("%s row %q: %d values for %d columns",
 						e.ID, r.Label, len(r.Values), len(tab.Columns))
 				}

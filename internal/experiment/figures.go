@@ -10,6 +10,11 @@ import (
 	"idyll/internal/workload"
 )
 
+// Every FigureNN builds the figure's (scheme × application) matrix as cell
+// specs, fans them out on the suite runner (see runner.go), and assembles
+// the table from the results in registry order — so regeneration scales
+// with cores while rendering byte-identical output at any -jobs width.
+
 // appColumns builds the paper's column list with a trailing "Ave.".
 func appColumns(apps []string) []string {
 	return append(append([]string{}, apps...), "Ave.")
@@ -18,16 +23,6 @@ func appColumns(apps []string) []string {
 // withMean appends the arithmetic mean to a value row.
 func withMean(values []float64) []float64 {
 	return append(values, Mean(values))
-}
-
-// runPair runs baseline and one scheme for an app, returning both.
-func runPair(m config.Machine, scheme config.Scheme, abbr string, o Options) (base, opt *stats.Sim, err error) {
-	base, err = Run(m, config.Baseline(), abbr, o)
-	if err != nil {
-		return nil, nil, err
-	}
-	opt, err = Run(m, scheme, abbr, o)
-	return base, opt, err
 }
 
 // Figure1 reproduces the motivation study: the fraction of execution time
@@ -43,13 +38,13 @@ func Figure1(o Options) (*Table, error) {
 		Caption: "fraction of execution time spent handling PTE invalidations",
 		Columns: appColumns(apps),
 	}
+	base, zero, err := pairRuns("fig1", o, m, config.ZeroLatency(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var row []float64
-	for _, abbr := range apps {
-		base, zero, err := runPair(m, config.ZeroLatency(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		overhead := 1 - float64(zero.ExecCycles)/float64(base.ExecCycles)
+	for j := range apps {
+		overhead := 1 - float64(zero[j].ExecCycles)/float64(base[j].ExecCycles)
 		if overhead < 0 {
 			overhead = 0
 		}
@@ -72,19 +67,9 @@ func Figure2(o Options) (*Table, error) {
 	schemes := []config.Scheme{
 		config.FirstTouchScheme(), config.OnTouchScheme(), config.ZeroLatency(),
 	}
-	rows := make([][]float64, len(schemes))
-	for _, abbr := range apps {
-		base, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range schemes {
-			st, err := Run(m, s, abbr, o)
-			if err != nil {
-				return nil, err
-			}
-			rows[i] = append(rows[i], st.Speedup(base))
-		}
+	rows, err := schemeMatrix("fig2", o, m, apps, schemes)
+	if err != nil {
+		return nil, err
 	}
 	for i, s := range schemes {
 		t.AddRow(s.Name, withMean(rows[i]))
@@ -101,14 +86,14 @@ func Table3(o Options) (*Table, error) {
 		Title:   "Table 3: Applications (measured vs paper MPKI)",
 		Columns: appColumns(apps),
 	}
+	res, err := baselineRuns("table3", o, m, apps)
+	if err != nil {
+		return nil, err
+	}
 	var measured, paper []float64
-	for _, abbr := range apps {
-		st, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
+	for j, abbr := range apps {
 		app, _ := workload.App(abbr)
-		measured = append(measured, st.MPKI())
+		measured = append(measured, res[j].MPKI())
 		paper = append(paper, app.PaperMPKI)
 	}
 	t.AddRow("Measured MPKI", withMean(measured))
@@ -125,13 +110,13 @@ func Figure4(o Options) (*Table, error) {
 		Caption: "fraction of accesses to pages accessed by k GPUs",
 		Columns: appColumns(apps),
 	}
+	res, err := baselineRuns("fig4", o, m, apps)
+	if err != nil {
+		return nil, err
+	}
 	rows := make([][]float64, m.NumGPUs)
-	for _, abbr := range apps {
-		st, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		dist := st.Sharing().AccessDistribution(m.NumGPUs)
+	for j := range apps {
+		dist := res[j].Sharing().AccessDistribution(m.NumGPUs)
 		for k := 1; k <= m.NumGPUs; k++ {
 			rows[k-1] = append(rows[k-1], dist[k])
 		}
@@ -153,12 +138,13 @@ func Figure5(o Options) (*Table, error) {
 		Caption: "fractions of all page-walker requests",
 		Columns: appColumns(apps),
 	}
+	res, err := baselineRuns("fig5", o, m, apps)
+	if err != nil {
+		return nil, err
+	}
 	var demand, necessary, unnecessary []float64
-	for _, abbr := range apps {
-		st, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
+	for j := range apps {
+		st := res[j]
 		total := float64(st.WalkerDemand + st.WalkerInval + st.WalkerUpdate)
 		demand = append(demand, float64(st.WalkerDemand+st.WalkerUpdate)/total)
 		necessary = append(necessary, float64(st.InvalNecessary)/total)
@@ -181,15 +167,15 @@ func Figure6(o Options) (*Table, error) {
 		Caption: "normalized latency (row 1), actual baseline/ideal cycles (rows 2-3)",
 		Columns: appColumns(apps),
 	}
+	base, zero, err := pairRuns("fig6", o, m, config.ZeroLatency(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var rel, baseCyc, idealCyc []float64
-	for _, abbr := range apps {
-		base, zero, err := runPair(m, config.ZeroLatency(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		rel = append(rel, zero.DemandMiss.Mean()/base.DemandMiss.Mean())
-		baseCyc = append(baseCyc, base.DemandMiss.Mean())
-		idealCyc = append(idealCyc, zero.DemandMiss.Mean())
+	for j := range apps {
+		rel = append(rel, zero[j].DemandMiss.Mean()/base[j].DemandMiss.Mean())
+		baseCyc = append(baseCyc, base[j].DemandMiss.Mean())
+		idealCyc = append(idealCyc, zero[j].DemandMiss.Mean())
 	}
 	t.AddRow("Eliminating invalidation (rel.)", withMean(rel))
 	t.AddRow("Baseline actual cycles", withMean(baseCyc))
@@ -207,12 +193,13 @@ func Figure7(o Options) (*Table, error) {
 		Caption: "waiting fraction of total migration latency; actual mean cycles",
 		Columns: appColumns(apps),
 	}
+	res, err := baselineRuns("fig7", o, m, apps)
+	if err != nil {
+		return nil, err
+	}
 	var frac, total, wait []float64
-	for _, abbr := range apps {
-		st, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
+	for j := range apps {
+		st := res[j]
 		frac = append(frac, st.MigrationWait.Mean()/st.MigrationTotal.Mean())
 		total = append(total, st.MigrationTotal.Mean())
 		wait = append(wait, st.MigrationWait.Mean())
@@ -237,19 +224,9 @@ func Figure11(o Options) (*Table, error) {
 		config.OnlyLazy(), config.OnlyInPTE(), config.IDYLLInMem(),
 		config.IDYLL(), config.ZeroLatency(),
 	}
-	rows := make([][]float64, len(schemes))
-	for _, abbr := range apps {
-		base, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range schemes {
-			st, err := Run(m, s, abbr, o)
-			if err != nil {
-				return nil, err
-			}
-			rows[i] = append(rows[i], st.Speedup(base))
-		}
+	rows, err := schemeMatrix("fig11", o, m, apps, schemes)
+	if err != nil {
+		return nil, err
 	}
 	for i, s := range schemes {
 		t.AddRow(s.Name, withMean(rows[i]))
@@ -259,7 +236,8 @@ func Figure11(o Options) (*Table, error) {
 
 // Figure12 reports IDYLL's demand TLB-miss latency relative to baseline.
 func Figure12(o Options) (*Table, error) {
-	return relativeMetric(o, "Figure 12: Demand TLB miss request latency (IDYLL/baseline)",
+	return relativeMetric(o, "fig12",
+		"Figure 12: Demand TLB miss request latency (IDYLL/baseline)",
 		func(st *stats.Sim) float64 { return float64(st.DemandMiss.Sum) })
 }
 
@@ -273,14 +251,14 @@ func Figure13(o Options) (*Table, error) {
 		Caption: "total latency and total number of invalidation requests",
 		Columns: appColumns(apps),
 	}
+	base, idyll, err := pairRuns("fig13", o, m, config.IDYLL(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var lat, num []float64
-	for _, abbr := range apps {
-		base, idyll, err := runPair(m, config.IDYLL(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		lat = append(lat, float64(idyll.Inval.Sum)/float64(maxU64(uint64(base.Inval.Sum), 1)))
-		num = append(num, float64(idyll.InvalReceived)/float64(maxU64(base.InvalReceived, 1)))
+	for j := range apps {
+		lat = append(lat, float64(idyll[j].Inval.Sum)/float64(maxU64(uint64(base[j].Inval.Sum), 1)))
+		num = append(num, float64(idyll[j].InvalReceived)/float64(maxU64(base[j].InvalReceived, 1)))
 	}
 	t.AddRow("Total latency", withMean(lat))
 	t.AddRow("Total number", withMean(num))
@@ -289,26 +267,27 @@ func Figure13(o Options) (*Table, error) {
 
 // Figure14 reports IDYLL's page-migration waiting latency vs baseline.
 func Figure14(o Options) (*Table, error) {
-	return relativeMetric(o, "Figure 14: Page migration waiting latency (IDYLL/baseline)",
+	return relativeMetric(o, "fig14",
+		"Figure 14: Page migration waiting latency (IDYLL/baseline)",
 		func(st *stats.Sim) float64 { return float64(st.MigrationWait.Sum) })
 }
 
 // relativeMetric builds a one-row table of IDYLL/baseline ratios of metric.
-func relativeMetric(o Options, title string, metric func(*stats.Sim) float64) (*Table, error) {
+func relativeMetric(o Options, fig, title string, metric func(*stats.Sim) float64) (*Table, error) {
 	m := config.Default()
 	apps := o.apps()
 	t := &Table{Title: title, Caption: "lower is better", Columns: appColumns(apps)}
+	base, idyll, err := pairRuns(fig, o, m, config.IDYLL(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var row []float64
-	for _, abbr := range apps {
-		base, idyll, err := runPair(m, config.IDYLL(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		b := metric(base)
+	for j := range apps {
+		b := metric(base[j])
 		if b == 0 {
 			b = 1
 		}
-		row = append(row, metric(idyll)/b)
+		row = append(row, metric(idyll[j])/b)
 	}
 	t.AddRow("Relative", withMean(row))
 	return t, nil
@@ -328,21 +307,15 @@ func Figure15(o Options) (*Table, error) {
 		{Bases: 16, Offsets: 8}, {Bases: 16, Offsets: 16},
 		{Bases: 32, Offsets: 8}, {Bases: 32, Offsets: 16}, {Bases: 64, Offsets: 16},
 	}
-	rows := make([][]float64, len(geoms))
-	for _, abbr := range apps {
-		base, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		for i, g := range geoms {
-			s := config.IDYLL()
-			s.IRMB = g
-			st, err := Run(m, s, abbr, o)
-			if err != nil {
-				return nil, err
-			}
-			rows[i] = append(rows[i], st.Speedup(base))
-		}
+	schemes := make([]config.Scheme, len(geoms))
+	for i, g := range geoms {
+		s := config.IDYLL()
+		s.IRMB = g
+		schemes[i] = s
+	}
+	rows, err := schemeMatrix("fig15", o, m, apps, schemes)
+	if err != nil {
+		return nil, err
 	}
 	for i, g := range geoms {
 		t.AddRow(fmt.Sprintf("(%d,%d)", g.Bases, g.Offsets), withMean(rows[i]))
@@ -359,16 +332,27 @@ func Figure16(o Options) (*Table, error) {
 		Caption: "normalized to baseline with the same walker count",
 		Columns: appColumns(apps),
 	}
-	for _, threads := range []int{16, 32} {
+	threadCounts := []int{16, 32}
+	cs := newCells("fig16", o)
+	idx := make([][][2]int, len(threadCounts)) // [threads][app](base, idyll)
+	for k, threads := range threadCounts {
 		m := config.Default()
 		m.PTWThreads = threads
-		var row []float64
 		for _, abbr := range apps {
-			base, idyll, err := runPair(m, config.IDYLL(), abbr, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, idyll.Speedup(base))
+			idx[k] = append(idx[k], [2]int{
+				cs.add(m, config.Baseline(), abbr),
+				cs.add(m, config.IDYLL(), abbr),
+			})
+		}
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
+	for k, threads := range threadCounts {
+		var row []float64
+		for j := range apps {
+			row = append(row, res[idx[k][j][1]].Speedup(res[idx[k][j][0]]))
 		}
 		t.AddRow(fmt.Sprintf("%d threads", threads), withMean(row))
 	}
@@ -386,13 +370,13 @@ func Figure17(o Options) (*Table, error) {
 		Caption: "normalized to baseline with the same L2 TLB",
 		Columns: appColumns(apps),
 	}
+	base, idyll, err := pairRuns("fig17", o, m, config.IDYLL(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var row []float64
-	for _, abbr := range apps {
-		base, idyll, err := runPair(m, config.IDYLL(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, idyll.Speedup(base))
+	for j := range apps {
+		row = append(row, idyll[j].Speedup(base[j]))
 	}
 	t.AddRow("IDYLL", withMean(row))
 	return t, nil
@@ -408,46 +392,52 @@ func scaleAppToGPUs(app workload.Params, numGPUs int) workload.Params {
 
 // Figure18 evaluates IDYLL on 8- and 16-GPU systems.
 func Figure18(o Options) (*Table, error) {
-	return gpuCountStudy(o, "Figure 18: IDYLL with 8 and 16 GPUs",
+	return gpuCountStudy(o, "fig18", "Figure 18: IDYLL with 8 and 16 GPUs",
 		[]int{8, 16}, 11)
 }
 
 // Figure19 evaluates IDYLL with only 4 unused PTE bits on 8/16/32 GPUs,
 // stressing the in-PTE directory's modular hash.
 func Figure19(o Options) (*Table, error) {
-	return gpuCountStudy(o, "Figure 19: IDYLL with 4 unused bits",
+	return gpuCountStudy(o, "fig19", "Figure 19: IDYLL with 4 unused bits",
 		[]int{8, 16, 32}, 4)
 }
 
 // gpuCountStudy runs IDYLL vs baseline at several GPU counts.
-func gpuCountStudy(o Options, title string, gpuCounts []int, unusedBits int) (*Table, error) {
+func gpuCountStudy(o Options, fig, title string, gpuCounts []int, unusedBits int) (*Table, error) {
 	apps := o.apps()
 	t := &Table{
 		Title:   title,
 		Caption: "normalized to baseline with the same GPU count",
 		Columns: appColumns(apps),
 	}
-	for _, n := range gpuCounts {
+	cs := newCells(fig, o)
+	idx := make([][][2]int, len(gpuCounts)) // [gpuCount][app](base, idyll)
+	for k, n := range gpuCounts {
 		m := config.Default()
 		m.NumGPUs = n
-		var row []float64
 		for _, abbr := range apps {
 			app, err := workload.App(abbr)
 			if err != nil {
 				return nil, err
 			}
 			app = scaleAppToGPUs(app, n)
-			base, err := RunParams(m, config.Baseline(), app, o)
-			if err != nil {
-				return nil, err
-			}
 			s := config.IDYLL()
 			s.UnusedBits = unusedBits
-			st, err := RunParams(m, s, app, o)
-			if err != nil {
-				return nil, err
-			}
-			row = append(row, st.Speedup(base))
+			idx[k] = append(idx[k], [2]int{
+				cs.addParams(m, config.Baseline(), app),
+				cs.addParams(m, s, app),
+			})
+		}
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
+	for k, n := range gpuCounts {
+		var row []float64
+		for j := range apps {
+			row = append(row, res[idx[k][j][1]].Speedup(res[idx[k][j][0]]))
 		}
 		t.AddRow(fmt.Sprintf("%d-GPU", n), withMean(row))
 	}
@@ -465,43 +455,39 @@ func Figure20(o Options) (*Table, error) {
 			TraceScaleFactor),
 		Columns: appColumns(apps),
 	}
-	thr256 := maxInt(1, 256/TraceScaleFactor)
-	thr512 := maxInt(1, 512/TraceScaleFactor)
+	o256 := o
+	o256.CounterThreshold = maxInt(1, 256/TraceScaleFactor)
+	o512 := o
+	o512.CounterThreshold = maxInt(1, 512/TraceScaleFactor)
 	m := config.Default()
 
-	var base256Rows []*stats.Sim
-	for _, abbr := range apps {
-		o256 := o
-		o256.CounterThreshold = thr256
-		base, err := Run(m, config.Baseline(), abbr, o256)
-		if err != nil {
-			return nil, err
+	// All four (scheme, threshold) runs of an app share its cell seed, so
+	// the thresholds compare on the byte-identical trace.
+	cs := newCells("fig20", o)
+	type appCells struct{ base256, idyll256, base512, idyll512 int }
+	idx := make([]appCells, len(apps))
+	for j, abbr := range apps {
+		idx[j] = appCells{
+			base256:  cs.addOpts(m, config.Baseline(), abbr, o256),
+			idyll256: cs.addOpts(m, config.IDYLL(), abbr, o256),
+			base512:  cs.addOpts(m, config.Baseline(), abbr, o512),
+			idyll512: cs.addOpts(m, config.IDYLL(), abbr, o512),
 		}
-		base256Rows = append(base256Rows, base)
 	}
-	addScheme := func(label string, scheme config.Scheme, thr int) error {
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
+	addRow := func(label string, cell func(appCells) int) {
 		var row []float64
-		for i, abbr := range apps {
-			oT := o
-			oT.CounterThreshold = thr
-			st, err := Run(m, scheme, abbr, oT)
-			if err != nil {
-				return err
-			}
-			row = append(row, st.Speedup(base256Rows[i]))
+		for j := range apps {
+			row = append(row, res[cell(idx[j])].Speedup(res[idx[j].base256]))
 		}
 		t.AddRow(label, withMean(row))
-		return nil
 	}
-	if err := addScheme("256 IDYLL", config.IDYLL(), thr256); err != nil {
-		return nil, err
-	}
-	if err := addScheme("512 baseline", config.Baseline(), thr512); err != nil {
-		return nil, err
-	}
-	if err := addScheme("512 IDYLL", config.IDYLL(), thr512); err != nil {
-		return nil, err
-	}
+	addRow("256 IDYLL", func(c appCells) int { return c.idyll256 })
+	addRow("512 baseline", func(c appCells) int { return c.base512 })
+	addRow("512 IDYLL", func(c appCells) int { return c.idyll512 })
 	return t, nil
 }
 
@@ -528,8 +514,9 @@ func Figure21(o Options) (*Table, error) {
 		Caption: "enlarged inputs; normalized to 2MB-page baseline",
 		Columns: appColumns(apps),
 	}
-	var row []float64
-	for _, abbr := range apps {
+	cs := newCells("fig21", o)
+	idx := make([][2]int, len(apps))
+	for j, abbr := range apps {
 		app, err := workload.App(abbr)
 		if err != nil {
 			return nil, err
@@ -539,15 +526,18 @@ func Figure21(o Options) (*Table, error) {
 		// span fewer large pages — the false-sharing effect).
 		app.PagesPerGPU = maxInt(64, app.PagesPerGPU/32)
 		app.HotPages = maxInt(8, app.HotPages/2)
-		base, err := RunParams(m, config.Baseline(), app, o2)
-		if err != nil {
-			return nil, err
+		idx[j] = [2]int{
+			cs.addParamsOpts(m, config.Baseline(), app, o2),
+			cs.addParamsOpts(m, config.IDYLL(), app, o2),
 		}
-		st, err := RunParams(m, config.IDYLL(), app, o2)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, st.Speedup(base))
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
+	var row []float64
+	for j := range apps {
+		row = append(row, res[idx[j][1]].Speedup(res[idx[j][0]]))
 	}
 	t.AddRow("IDYLL (2MB pages)", withMean(row))
 	return t, nil
@@ -562,20 +552,35 @@ func Figure22(o Options) (*Table, error) {
 		Caption: "IDYLL performance normalized to the replication policy",
 		Columns: appColumns(apps),
 	}
+	repl, idyll, err := pairSchemes("fig22", o, m, config.ReplicationScheme(), config.IDYLL(), apps)
+	if err != nil {
+		return nil, err
+	}
 	var row []float64
-	for _, abbr := range apps {
-		repl, err := Run(m, config.ReplicationScheme(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		idyll, err := Run(m, config.IDYLL(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, idyll.Speedup(repl))
+	for j := range apps {
+		row = append(row, idyll[j].Speedup(repl[j]))
 	}
 	t.AddRow("IDYLL vs replication", withMean(row))
 	return t, nil
+}
+
+// pairSchemes runs two arbitrary schemes for every app in one pool pass.
+func pairSchemes(fig string, o Options, m config.Machine, a, b config.Scheme, apps []string) (ra, rb []*stats.Sim, err error) {
+	cs := newCells(fig, o)
+	for _, abbr := range apps {
+		cs.add(m, a, abbr)
+		cs.add(m, b, abbr)
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	ra = make([]*stats.Sim, len(apps))
+	rb = make([]*stats.Sim, len(apps))
+	for j := range apps {
+		ra[j], rb[j] = res[2*j], res[2*j+1]
+	}
+	return ra, rb, nil
 }
 
 // Figure23 compares Trans-FW, IDYLL, and the combination.
@@ -590,19 +595,9 @@ func Figure23(o Options) (*Table, error) {
 	schemes := []config.Scheme{
 		config.TransFWScheme(), config.IDYLL(), config.IDYLLTransFW(),
 	}
-	rows := make([][]float64, len(schemes))
-	for _, abbr := range apps {
-		base, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		for i, s := range schemes {
-			st, err := Run(m, s, abbr, o)
-			if err != nil {
-				return nil, err
-			}
-			rows[i] = append(rows[i], st.Speedup(base))
-		}
+	rows, err := schemeMatrix("fig23", o, m, apps, schemes)
+	if err != nil {
+		return nil, err
 	}
 	for i, s := range schemes {
 		t.AddRow(s.Name, withMean(rows[i]))
@@ -623,17 +618,21 @@ func Figure24(o Options) (*Table, error) {
 		Caption: "normalized to baseline",
 		Columns: append(cols, "Ave."),
 	}
+	cs := newCells("fig24", o)
+	idx := make([][2]int, len(apps))
+	for j, app := range apps {
+		idx[j] = [2]int{
+			cs.addParams(m, config.Baseline(), app),
+			cs.addParams(m, config.IDYLL(), app),
+		}
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
 	var row []float64
-	for _, app := range apps {
-		base, err := RunParams(m, config.Baseline(), app, o)
-		if err != nil {
-			return nil, err
-		}
-		st, err := RunParams(m, config.IDYLL(), app, o)
-		if err != nil {
-			return nil, err
-		}
-		row = append(row, st.Speedup(base))
+	for j := range apps {
+		row = append(row, res[idx[j][1]].Speedup(res[idx[j][0]]))
 	}
 	t.AddRow("IDYLL", withMean(row))
 	return t, nil
@@ -649,27 +648,15 @@ func AblationDrainOnIdle(o Options) (*Table, error) {
 		Caption: "normalized to baseline",
 		Columns: appColumns(apps),
 	}
-	var drain, noDrain []float64
-	for _, abbr := range apps {
-		base, err := Run(m, config.Baseline(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		st, err := Run(m, config.IDYLL(), abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		drain = append(drain, st.Speedup(base))
-		s := config.IDYLL()
-		s.NoIdleDrain = true
-		st, err = Run(m, s, abbr, o)
-		if err != nil {
-			return nil, err
-		}
-		noDrain = append(noDrain, st.Speedup(base))
+	noDrainScheme := config.IDYLL()
+	noDrainScheme.NoIdleDrain = true
+	schemes := []config.Scheme{config.IDYLL(), noDrainScheme}
+	rows, err := schemeMatrix("ablation-drain", o, m, apps, schemes)
+	if err != nil {
+		return nil, err
 	}
-	t.AddRow("Drain on idle (default)", withMean(drain))
-	t.AddRow("Eviction-only", withMean(noDrain))
+	t.AddRow("Drain on idle (default)", withMean(rows[0]))
+	t.AddRow("Eviction-only", withMean(rows[1]))
 	return t, nil
 }
 

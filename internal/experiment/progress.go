@@ -1,0 +1,42 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProgressPrinter returns an Options.Progress callback that renders a
+// throttled single-line cell counter with throughput and ETA to w
+// (typically os.Stderr), clearing the line when a pass completes so table
+// output on stdout stays clean. One printer survives multiple runner passes
+// of the same figure (Figure 16 runs one pass per walker count): the rate
+// window resets whenever the done counter restarts.
+func ProgressPrinter(w io.Writer, label string) func(done, total int, cell string) {
+	passStart := time.Now()
+	var lastPrint time.Time
+	lastDone := 0
+	return func(done, total int, cell string) {
+		now := time.Now()
+		if done <= lastDone { // a new runner pass began
+			passStart = now
+		}
+		lastDone = done
+		if done < total && now.Sub(lastPrint) < 100*time.Millisecond {
+			return
+		}
+		lastPrint = now
+		elapsed := now.Sub(passStart).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+		rate := float64(done) / elapsed
+		eta := float64(total-done) / rate
+		fmt.Fprintf(w, "\r%-10s %3d/%3d cells  %5.1f cells/s  ETA %4.0fs  %-32s",
+			label, done, total, rate, eta, cell)
+		if done == total {
+			// Clear the line: the pass is done, tables follow on stdout.
+			fmt.Fprintf(w, "\r%-90s\r", "")
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// The concurrent suite runner. Every figure of the evaluation is a
+// (scheme × application) matrix of independent simulation cells; a cell is a
+// pure function of its spec — machine, scheme, workload, scale, seed — with
+// no shared mutable state (each cell builds its own engine, system, stats,
+// and trace). The runner fans cells out across a bounded worker pool and
+// merges results back in submission order, so parallel regeneration renders
+// byte-identical tables to a serial run.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"idyll/internal/config"
+	"idyll/internal/stats"
+	"idyll/internal/system"
+	"idyll/internal/workload"
+)
+
+// CellSpec identifies one simulation run of an experiment's matrix.
+type CellSpec struct {
+	// Figure is the experiment ID ("fig11"); it salts the cell seed and
+	// labels progress and error reports.
+	Figure string
+	// App is the application abbreviation. It salts the cell seed, so it
+	// must be set even when Params or Trace supply the workload.
+	App     string
+	Machine config.Machine
+	Scheme  config.Scheme
+	// Params, when non-nil, supplies explicit generator parameters instead
+	// of resolving App through the Table 3 registry.
+	Params *workload.Params
+	// Trace, when non-nil, replays a pre-generated trace (no generation, no
+	// seed derivation). The machine's GPU/CU geometry is taken from it.
+	Trace *workload.Trace
+	// Opts, when non-nil, overrides the suite options for this cell
+	// (Figure 20 varies the counter threshold per cell this way).
+	Opts *Options
+}
+
+// CellSeed derives the workload seed of one (figure, application) cell from
+// the suite seed, so a cell's trace depends only on its own identity — never
+// on how many cells ran before it or on which worker it lands. The scheme is
+// deliberately not mixed in: every figure is a ratio against a baseline run
+// of the byte-identical trace (see EXPERIMENTS.md "Calibration"), so all
+// schemes of a cell pair must draw the same trace.
+func CellSeed(suiteSeed uint64, figureID, appAbbr string) uint64 {
+	// FNV-1a over the cell identity, then a splitmix64-style finalizer so
+	// neighbouring IDs ("fig12"/"fig13") land in well-separated streams.
+	h := suiteSeed ^ 0xcbf29ce484222325
+	mix := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 0x100000001b3
+		}
+		h ^= 0xff // separator: ("ab","c") and ("a","bc") must differ
+		h *= 0x100000001b3
+	}
+	mix(figureID)
+	mix(appAbbr)
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// jobs resolves the worker-pool width: Options.Jobs, or every core.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunCells executes the cells on a bounded worker pool of o.jobs() workers
+// and returns their stats in spec order. The first failing cell cancels the
+// pool — queued cells are abandoned, in-flight ones finish — and the joined
+// error names every failed (figure, app, scheme). Each completed cell
+// reports through o.Progress (serialized, never concurrent).
+func RunCells(o Options, specs []CellSpec) ([]*stats.Sim, error) {
+	n := len(specs)
+	results := make([]*stats.Sim, n)
+	errs := make([]error, n)
+	workers := o.jobs()
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex // serializes the done counter and Progress calls
+		done     int
+		stop     = make(chan struct{})
+		stopOnce sync.Once
+	)
+	work := make(chan int)
+	go func() {
+		defer close(work)
+		for i := range specs {
+			select {
+			case work <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := specs[i]
+				st, err := runCell(spec, o)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: cell (app=%s, scheme=%s): %w",
+						spec.Figure, spec.App, spec.Scheme.Name, err)
+					stopOnce.Do(func() { close(stop) })
+					continue
+				}
+				results[i] = st
+				mu.Lock()
+				done++
+				if o.Progress != nil {
+					o.Progress(done, n, fmt.Sprintf("%s %s/%s",
+						spec.Figure, spec.App, spec.Scheme.Name))
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// runCell executes one cell: resolve its options and workload, build a
+// private system, run to completion.
+func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
+	co := o
+	if spec.Opts != nil {
+		co = *spec.Opts
+	}
+	if spec.Trace != nil {
+		m := spec.Machine
+		m.NumGPUs = spec.Trace.NumGPUs
+		m.CUsPerGPU = len(spec.Trace.Accesses[0])
+		if co.CounterThreshold > 0 {
+			m.AccessCounterThreshold = co.CounterThreshold
+		}
+		s, err := system.New(m, spec.Scheme)
+		if err != nil {
+			return nil, err
+		}
+		return s.Run(spec.Trace)
+	}
+	co.Seed = CellSeed(co.Seed, spec.Figure, spec.App)
+	if spec.Params != nil {
+		return RunParams(spec.Machine, spec.Scheme, *spec.Params, co)
+	}
+	return Run(spec.Machine, spec.Scheme, spec.App, co)
+}
+
+// cells accumulates one figure's specs so the whole matrix runs in a single
+// pool pass; add methods return the index of the cell's result.
+type cells struct {
+	fig   string
+	o     Options
+	specs []CellSpec
+}
+
+func newCells(fig string, o Options) *cells { return &cells{fig: fig, o: o} }
+
+// add schedules one (machine, scheme, app) run.
+func (c *cells) add(m config.Machine, s config.Scheme, abbr string) int {
+	c.specs = append(c.specs, CellSpec{
+		Figure: c.fig, App: abbr, Machine: m, Scheme: s,
+	})
+	return len(c.specs) - 1
+}
+
+// addOpts is add with per-cell options (threshold studies).
+func (c *cells) addOpts(m config.Machine, s config.Scheme, abbr string, o Options) int {
+	o2 := o
+	c.specs = append(c.specs, CellSpec{
+		Figure: c.fig, App: abbr, Machine: m, Scheme: s, Opts: &o2,
+	})
+	return len(c.specs) - 1
+}
+
+// addParams schedules a run with explicit workload parameters.
+func (c *cells) addParams(m config.Machine, s config.Scheme, p workload.Params) int {
+	p2 := p
+	c.specs = append(c.specs, CellSpec{
+		Figure: c.fig, App: p.Abbr, Machine: m, Scheme: s, Params: &p2,
+	})
+	return len(c.specs) - 1
+}
+
+// addParamsOpts is addParams with per-cell options.
+func (c *cells) addParamsOpts(m config.Machine, s config.Scheme, p workload.Params, o Options) int {
+	p2, o2 := p, o
+	c.specs = append(c.specs, CellSpec{
+		Figure: c.fig, App: p.Abbr, Machine: m, Scheme: s, Params: &p2, Opts: &o2,
+	})
+	return len(c.specs) - 1
+}
+
+// run executes the accumulated specs on the pool.
+func (c *cells) run() ([]*stats.Sim, error) { return RunCells(c.o, c.specs) }
+
+// schemeMatrix runs baseline plus each scheme for every app in one pool pass
+// and returns one speedup row per scheme — the (scheme × app) shape most
+// figures share.
+func schemeMatrix(fig string, o Options, m config.Machine, apps []string, schemes []config.Scheme) ([][]float64, error) {
+	cs := newCells(fig, o)
+	baseIdx := make([]int, len(apps))
+	idx := make([][]int, len(schemes))
+	for i := range idx {
+		idx[i] = make([]int, len(apps))
+	}
+	for j, abbr := range apps {
+		baseIdx[j] = cs.add(m, config.Baseline(), abbr)
+		for i, s := range schemes {
+			idx[i][j] = cs.add(m, s, abbr)
+		}
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]float64, len(schemes))
+	for i := range schemes {
+		rows[i] = make([]float64, len(apps))
+		for j := range apps {
+			rows[i][j] = res[idx[i][j]].Speedup(res[baseIdx[j]])
+		}
+	}
+	return rows, nil
+}
+
+// pairRuns runs (baseline, scheme) for every app in one pool pass and
+// returns both result rows in app order.
+func pairRuns(fig string, o Options, m config.Machine, s config.Scheme, apps []string) (base, opt []*stats.Sim, err error) {
+	cs := newCells(fig, o)
+	for _, abbr := range apps {
+		cs.add(m, config.Baseline(), abbr)
+		cs.add(m, s, abbr)
+	}
+	res, err := cs.run()
+	if err != nil {
+		return nil, nil, err
+	}
+	base = make([]*stats.Sim, len(apps))
+	opt = make([]*stats.Sim, len(apps))
+	for j := range apps {
+		base[j], opt[j] = res[2*j], res[2*j+1]
+	}
+	return base, opt, nil
+}
+
+// baselineRuns runs the baseline for every app in one pool pass.
+func baselineRuns(fig string, o Options, m config.Machine, apps []string) ([]*stats.Sim, error) {
+	cs := newCells(fig, o)
+	for _, abbr := range apps {
+		cs.add(m, config.Baseline(), abbr)
+	}
+	return cs.run()
+}

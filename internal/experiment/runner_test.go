@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"idyll/internal/config"
+)
+
+func TestCellSeedDeterministicAndDistinct(t *testing.T) {
+	if CellSeed(1, "fig11", "PR") != CellSeed(1, "fig11", "PR") {
+		t.Fatal("CellSeed not deterministic")
+	}
+	seeds := map[uint64]string{}
+	for _, fig := range []string{"fig11", "fig12", "fig13", "fig2", "table3"} {
+		for _, app := range []string{"PR", "KM", "MT", "BS"} {
+			s := CellSeed(20231028, fig, app)
+			if prev, dup := seeds[s]; dup {
+				t.Fatalf("seed collision: (%s,%s) and %s", fig, app, prev)
+			}
+			seeds[s] = fig + "/" + app
+		}
+	}
+	// Concatenation ambiguity: ("fig1","1PR") must differ from ("fig11","PR").
+	if CellSeed(1, "fig1", "1PR") == CellSeed(1, "fig11", "PR") {
+		t.Fatal("CellSeed ambiguous across field boundaries")
+	}
+	// The suite seed must matter.
+	if CellSeed(1, "fig11", "PR") == CellSeed(2, "fig11", "PR") {
+		t.Fatal("CellSeed ignores suite seed")
+	}
+}
+
+func TestOptionsJobsResolution(t *testing.T) {
+	var o Options
+	if got := o.jobs(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("jobs() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	o.Jobs = 3
+	if got := o.jobs(); got != 3 {
+		t.Fatalf("jobs() = %d, want 3", got)
+	}
+}
+
+// The determinism gate: a multi-cell figure regenerated serially (-jobs=1)
+// and on a wide pool (-jobs=8) must render byte-identical tables. This is
+// the property the CI race job pins down: cells share no mutable state, so
+// scheduling cannot leak into results.
+func TestParallelMatchesSerial(t *testing.T) {
+	o := quick() // PR, KM: fig11 is 12 cells
+	e, err := Find("fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := o
+	serial.Jobs = 1
+	parallel := o
+	parallel.Jobs = 8
+	ts, err := e.Run(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := e.Run(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Render() != tp.Render() {
+		t.Fatalf("parallel table differs from serial:\n--- jobs=1\n%s\n--- jobs=8\n%s",
+			ts.Render(), tp.Render())
+	}
+	if ts.RenderCSV() != tp.RenderCSV() {
+		t.Fatal("parallel CSV differs from serial")
+	}
+	js, _ := ts.RenderJSON()
+	jp, _ := tp.RenderJSON()
+	if js != jp {
+		t.Fatal("parallel JSON differs from serial")
+	}
+}
+
+func TestRunCellsErrorNamesFailedCell(t *testing.T) {
+	o := quick()
+	o.Jobs = 2
+	m := config.Default()
+	specs := []CellSpec{
+		{Figure: "fig-test", App: "PR", Machine: m, Scheme: config.Baseline()},
+		{Figure: "fig-test", App: "nope", Machine: m, Scheme: config.IDYLL()},
+	}
+	res, err := RunCells(o, specs)
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if res != nil {
+		t.Fatal("results returned alongside error")
+	}
+	for _, want := range []string{"fig-test", "app=nope", "scheme=IDYLL"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+// A failed cell must cancel the pool: with one worker, a failure in the
+// first cell abandons the queued remainder (at most one already-dequeued
+// cell may still complete).
+func TestRunCellsFailureCancelsQueue(t *testing.T) {
+	o := quick()
+	o.Jobs = 1
+	o.CUsPerGPU, o.AccessesPerCU = 1, 20
+	completed := 0
+	o.Progress = func(done, total int, cell string) { completed = done }
+	m := config.Default()
+	specs := []CellSpec{{Figure: "f", App: "nope", Machine: m, Scheme: config.Baseline()}}
+	for i := 0; i < 10; i++ {
+		specs = append(specs, CellSpec{Figure: "f", App: "PR", Machine: m, Scheme: config.Baseline()})
+	}
+	if _, err := RunCells(o, specs); err == nil {
+		t.Fatal("failing cell accepted")
+	}
+	if completed > 1 {
+		t.Fatalf("pool ran %d cells after the failure, want ≤1", completed)
+	}
+}
+
+func TestRunCellsProgressSequence(t *testing.T) {
+	o := quick()
+	o.Jobs = 4
+	o.CUsPerGPU, o.AccessesPerCU = 1, 20
+	m := config.Default()
+	var specs []CellSpec
+	for i := 0; i < 6; i++ {
+		specs = append(specs, CellSpec{Figure: "f", App: "KM", Machine: m, Scheme: config.Baseline()})
+	}
+	var dones []int
+	o.Progress = func(done, total int, cell string) {
+		if total != len(specs) {
+			t.Errorf("total = %d, want %d", total, len(specs))
+		}
+		if cell == "" {
+			t.Error("empty cell label")
+		}
+		dones = append(dones, done)
+	}
+	res, err := RunCells(o, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(specs) {
+		t.Fatalf("%d results, want %d", len(res), len(specs))
+	}
+	for i, st := range res {
+		if st == nil || st.Accesses == 0 {
+			t.Fatalf("result %d empty", i)
+		}
+	}
+	if len(dones) != len(specs) {
+		t.Fatalf("%d progress calls, want %d", len(dones), len(specs))
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not monotonic", dones)
+		}
+	}
+}
+
+// Identical (figure, app) cells share one trace regardless of scheme — the
+// calibration invariant every figure's normalization depends on — while
+// different figures draw independent traces.
+func TestCellTracePairing(t *testing.T) {
+	o := quick()
+	o.CUsPerGPU, o.AccessesPerCU = 2, 50
+	m := config.Default()
+	// The page-sharing distribution is a pure function of the trace (which
+	// pages each GPU touches), untouched by the scheme's timing — a
+	// fingerprint of which trace a cell actually ran.
+	run := func(fig string, s config.Scheme) []float64 {
+		res, err := RunCells(o, []CellSpec{
+			{Figure: fig, App: "PR", Machine: m, Scheme: s}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Sharing().AccessDistribution(m.NumGPUs)
+	}
+	equal := func(a, b []float64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Same cell, different scheme: same trace.
+	if !equal(run("figA", config.Baseline()), run("figA", config.IDYLL())) {
+		t.Fatal("schemes of one cell did not share the trace")
+	}
+	// Different figure: an independent trace.
+	if equal(run("figA", config.Baseline()), run("figB", config.Baseline())) {
+		t.Fatal("different figures drew the same trace")
+	}
+	// Baseline runs of the same cell are bit-repeatable.
+	a, err := RunCells(o, []CellSpec{{Figure: "figA", App: "PR", Machine: m, Scheme: config.Baseline()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCells(o, []CellSpec{{Figure: "figA", App: "PR", Machine: m, Scheme: config.Baseline()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].ExecCycles != b[0].ExecCycles || a[0].Accesses != b[0].Accesses {
+		t.Fatal("repeated cell not deterministic")
+	}
+}
