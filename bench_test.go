@@ -177,6 +177,7 @@ func BenchmarkSimulatePageRank(b *testing.B) {
 	m.CUsPerGPU = 8
 	m.AccessCounterThreshold = 2
 	rc := idyll.RunConfig{AccessesPerCU: 300}
+	b.ReportAllocs()
 	b.ResetTimer()
 	total := 0
 	for i := 0; i < b.N; i++ {
@@ -194,6 +195,7 @@ func BenchmarkSimulatePageRank(b *testing.B) {
 func BenchmarkIRMBInsertLookup(b *testing.B) {
 	irmb := core.NewIRMB(core.DefaultGeometry)
 	r := sim.NewRand(1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vpn := memdef.VPN(r.Intn(1 << 14))
@@ -204,6 +206,7 @@ func BenchmarkIRMBInsertLookup(b *testing.B) {
 
 func BenchmarkEventEngine(b *testing.B) {
 	e := sim.NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Schedule(sim.VTime(i%64), func() {})
@@ -216,6 +219,7 @@ func BenchmarkEventEngine(b *testing.B) {
 
 func BenchmarkZipfSampling(b *testing.B) {
 	z := sim.NewZipf(sim.NewRand(3), 4096, 1.1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = z.Rank()

@@ -1,0 +1,313 @@
+// Command benchdiff compares two benchmark result sets and fails on
+// regressions. It is the repo's self-contained stand-in for benchstat, so CI
+// can gate on benchmark output without fetching external tools.
+//
+// Each input is either raw `go test -bench` output (any extension) or a JSON
+// baseline previously written with -emit (extension .json). Within one input,
+// repeated runs of the same benchmark (-count=N) collapse to the median, which
+// is what makes the wall-clock comparison usable on shared machines.
+//
+//	benchdiff old.txt new.txt                 # compare two bench runs
+//	benchdiff -time -1 BENCH_PR2.json new.txt # allocs-only gate vs baseline
+//	benchdiff -emit BENCH_PR2.json new.txt    # record a baseline, no compare
+//
+// Exit status: 0 clean, 1 regression found, 2 usage/parse error.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's collapsed (median) measurements. A metric absent
+// from the run (e.g. B/op without -benchmem) is NaN-free: tracked via the has*
+// flags so absent metrics are never compared.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+
+	hasNs, hasBytes, hasAllocs bool
+}
+
+// Baseline is the JSON schema of a committed BENCH_*.json file.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		timeTol  = flag.Float64("time", 0.10, "ns/op regression threshold as a fraction; negative disables the time gate")
+		allocTol = flag.Float64("allocs", 0.10, "allocs/op regression threshold as a fraction; negative disables")
+		byteTol  = flag.Float64("bytes", -1, "B/op regression threshold as a fraction; negative disables (report-only)")
+		emit     = flag.String("emit", "", "write NEW as a JSON baseline to this path")
+		require  = flag.Bool("require", false, "fail if a benchmark in OLD is missing from NEW")
+	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD NEW")
+		fmt.Fprintln(os.Stderr, "       benchdiff -emit BASELINE.json NEW")
+		fmt.Fprintln(os.Stderr, "  OLD, NEW: `go test -bench` output, or a .json baseline written with -emit")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	// Record-only mode: one input, written out as the new baseline.
+	if *emit != "" && flag.NArg() == 1 {
+		cur, err := load(flag.Arg(0))
+		fatal(err)
+		fatal(writeBaseline(*emit, cur))
+		fmt.Printf("wrote %s (%d benchmarks)\n", *emit, len(cur))
+		return
+	}
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := load(flag.Arg(0))
+	fatal(err)
+	cur, err := load(flag.Arg(1))
+	fatal(err)
+
+	if *emit != "" {
+		fatal(writeBaseline(*emit, cur))
+		fmt.Printf("wrote %s (%d benchmarks)\n", *emit, len(cur))
+	}
+
+	regressions := report(old, cur, *timeTol, *byteTol, *allocTol, *require)
+	if regressions > 0 {
+		fmt.Printf("\nFAIL: %d regression(s)\n", regressions)
+		os.Exit(1)
+	}
+	fmt.Println("\nok: no regressions")
+}
+
+// report prints the benchstat-style comparison table and returns the number
+// of threshold violations.
+func report(old, cur map[string]Result, timeTol, byteTol, allocTol float64, require bool) int {
+	names := make([]string, 0, len(old))
+	for n := range old {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	w := 0
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	fmt.Printf("%-*s  %22s  %22s  %22s\n", w, "benchmark",
+		"ns/op (old→new)", "B/op (old→new)", "allocs/op (old→new)")
+
+	regressions := 0
+	for _, n := range names {
+		o := old[n]
+		c, ok := cur[n]
+		if !ok {
+			if require {
+				fmt.Printf("%-*s  missing from NEW\n", w, n)
+				regressions++
+			}
+			continue
+		}
+		var cols [3]string
+		for i, m := range []struct {
+			have bool
+			o, c float64
+			tol  float64
+		}{
+			{o.hasNs && c.hasNs, o.NsPerOp, c.NsPerOp, timeTol},
+			{o.hasBytes && c.hasBytes, o.BytesPerOp, c.BytesPerOp, byteTol},
+			{o.hasAllocs && c.hasAllocs, o.AllocsPerOp, c.AllocsPerOp, allocTol},
+		} {
+			if !m.have {
+				cols[i] = "-"
+				continue
+			}
+			mark := ""
+			if exceeds(m.o, m.c, m.tol) {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			cols[i] = fmt.Sprintf("%s→%s %s%s", trim(m.o), trim(m.c), delta(m.o, m.c), mark)
+		}
+		fmt.Printf("%-*s  %22s  %22s  %22s\n", w, n, cols[0], cols[1], cols[2])
+	}
+	return regressions
+}
+
+// exceeds reports whether new regresses past old by more than tol. A zero
+// baseline is special-cased: any growth from zero is a regression (the
+// relative delta is infinite), which is exactly the guard the zero-alloc
+// engine paths need.
+func exceeds(old, cur, tol float64) bool {
+	if tol < 0 {
+		return false
+	}
+	if old == 0 {
+		return cur > 0
+	}
+	return cur > old*(1+tol)
+}
+
+func delta(old, cur float64) string {
+	if old == 0 {
+		if cur == 0 {
+			return "(=)"
+		}
+		return "(+inf)"
+	}
+	return fmt.Sprintf("(%+.1f%%)", (cur-old)/old*100)
+}
+
+func trim(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// load reads either a JSON baseline (.json) or raw `go test -bench` output.
+func load(path string) (map[string]Result, error) {
+	if strings.HasSuffix(path, ".json") {
+		return loadBaseline(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func loadBaseline(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(b.Benchmarks))
+	for name, r := range b.Benchmarks {
+		// A committed baseline states all three metrics explicitly.
+		r.hasNs, r.hasBytes, r.hasAllocs = true, true, true
+		out[name] = r
+	}
+	return out, nil
+}
+
+func writeBaseline(path string, cur map[string]Result) error {
+	b := Baseline{
+		Note:       "benchmark baseline; compare with `go run ./cmd/benchdiff`, regenerate with scripts/bench.sh record",
+		Benchmarks: cur,
+	}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// sample accumulates the per-run values of one benchmark before the median
+// collapse.
+type sample struct{ ns, bytes, allocs []float64 }
+
+// parseBench reads `go test -bench` output. Lines look like
+//
+//	BenchmarkEventEngine-64   31735113   38.31 ns/op   0 B/op   0 allocs/op
+//
+// possibly with extra custom metrics (ignored); everything that does not
+// start with "Benchmark" is skipped.
+func parseBench(f *os.File) (map[string]Result, error) {
+	samples := map[string]*sample{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := normalize(fields[0])
+		s := samples[name]
+		if s == nil {
+			s = &sample{}
+			samples[name] = s
+		}
+		// fields[1] is the iteration count; the rest are (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value in %q: %w", sc.Text(), err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "B/op":
+				s.bytes = append(s.bytes, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", f.Name())
+	}
+	out := make(map[string]Result, len(samples))
+	for name, s := range samples {
+		var r Result
+		if r.hasNs = len(s.ns) > 0; r.hasNs {
+			r.NsPerOp = median(s.ns)
+		}
+		if r.hasBytes = len(s.bytes) > 0; r.hasBytes {
+			r.BytesPerOp = median(s.bytes)
+		}
+		if r.hasAllocs = len(s.allocs) > 0; r.hasAllocs {
+			r.AllocsPerOp = median(s.allocs)
+		}
+		out[name] = r
+	}
+	return out, nil
+}
+
+// normalize strips the trailing -GOMAXPROCS suffix so runs from machines with
+// different core counts compare by benchmark identity.
+func normalize(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"idyll/internal/experiment"
+	"idyll/internal/profiling"
 )
 
 func main() {
@@ -36,8 +37,21 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = all cores)")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
+		prof     profiling.Flags
 	)
+	prof.Register(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idyllbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "idyllbench:", err)
+		}
+	}()
 
 	if *list {
 		for _, e := range experiment.Registry() {

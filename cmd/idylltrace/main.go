@@ -22,6 +22,7 @@ import (
 	"idyll/internal/config"
 	"idyll/internal/experiment"
 	"idyll/internal/memdef"
+	"idyll/internal/profiling"
 	"idyll/internal/workload"
 )
 
@@ -117,10 +118,17 @@ func cmdRun(args []string) {
 	threshold := fs.Int("threshold", 2, "access-counter threshold")
 	jobs := fs.Int("jobs", 0, "concurrent scheme runs (0 = all cores)")
 	quiet := fs.Bool("quiet", false, "suppress the stderr progress display")
+	engineStats := fs.Bool("enginestats", false,
+		"also print the event engine's internal counters per scheme")
+	var prof profiling.Flags
+	prof.Register(fs)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
 		usage()
 	}
+	stopProf, err := prof.Start()
+	fatal(err)
+	defer func() { fatal(stopProf()) }()
 	t := loadTrace(fs.Arg(0))
 	names := *schemeNames
 	if names == "all" {
@@ -154,6 +162,13 @@ func cmdRun(args []string) {
 			fmt.Printf("== %s ==\n", schemes[i].Name)
 		}
 		fmt.Println(st.Summary())
+		if *engineStats {
+			fmt.Printf("engine: events=%d bucket=%.1f%% (ring=%d heap=%d migrated=%d) "+
+				"cancelled=%d pool-hits=%d\n",
+				st.EngineEvents, st.EngineBucketFraction()*100,
+				st.EngineRingScheduled, st.EngineFarScheduled, st.EngineMigrated,
+				st.EngineCancelled, st.EnginePoolHits)
+		}
 	}
 }
 

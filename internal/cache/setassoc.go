@@ -124,7 +124,15 @@ func (c *SetAssoc[K, V]) Insert(key K, val V) (evictedKey K, evictedVal V, evict
 		c.evicts++
 		return victim.key, victim.val, true
 	}
-	c.lines[s] = append([]line[K, V]{{key: key, val: val}}, ln...)
+	// Grow in place: sets are allocated at full associativity on first use,
+	// so the steady-state insert path never allocates.
+	if ln == nil {
+		ln = make([]line[K, V], 0, c.ways)
+	}
+	ln = append(ln, line[K, V]{})
+	copy(ln[1:], ln[:len(ln)-1])
+	ln[0] = line[K, V]{key: key, val: val}
+	c.lines[s] = ln
 	c.size++
 	return
 }
@@ -164,10 +172,11 @@ func (c *SetAssoc[K, V]) InvalidateIf(pred func(K, V) bool) int {
 	return removed
 }
 
-// Flush removes every entry.
+// Flush removes every entry, keeping each set's storage for reuse.
 func (c *SetAssoc[K, V]) Flush() {
 	for s := range c.lines {
-		c.lines[s] = nil
+		clear(c.lines[s])
+		c.lines[s] = c.lines[s][:0]
 	}
 	c.size = 0
 }

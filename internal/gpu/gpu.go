@@ -85,6 +85,11 @@ type GPU struct {
 	onDone         func()
 	computeGap     int
 	instrPerAccess int
+	// issueFns / retireFns are per-CU continuations, built once in Run so the
+	// issue→access→retire cycle schedules them without a fresh closure per
+	// access.
+	issueFns  []func()
+	retireFns []func()
 
 	// OnTranslated, if set, is called whenever a translation is handed to a
 	// data access — the hook for the system-level correctness checker.
@@ -181,6 +186,15 @@ func (g *GPU) Run(trace [][]workload.Access, onDone func()) {
 	g.trace = trace
 	g.cuNext = make([]int, len(trace))
 	g.onDone = onDone
+	g.issueFns = make([]func(), len(trace))
+	g.retireFns = make([]func(), len(trace))
+	for cu := range trace {
+		cu := cu
+		g.issueFns[cu] = func() { g.issueNext(cu) }
+		g.retireFns[cu] = func() {
+			g.engine.Schedule(sim.VTime(g.traceComputeGap()), g.issueFns[cu])
+		}
+	}
 	slots := g.machine.OutstandingPerCU
 	for cu := range trace {
 		for s := 0; s < slots; s++ {
@@ -209,10 +223,7 @@ func (g *GPU) issueNext(cu int) {
 	g.st.Accesses++
 	g.st.Instructions += uint64(maxInt(1, g.traceInstrPerAccess()))
 	g.st.Sharing().Record(memdef.PageNum(acc.VA, g.machine.PageSize), g.ID)
-	g.access(cu, acc, func() {
-		gap := sim.VTime(g.traceComputeGap())
-		g.engine.Schedule(gap, func() { g.issueNext(cu) })
-	})
+	g.access(cu, acc, g.retireFns[cu])
 }
 
 func (g *GPU) finishSlot() {
@@ -390,6 +401,10 @@ func (g *GPU) translationReady(vpn memdef.VPN, e tlb.Entry) {
 		g.l1tlbs[w.cu].Fill(vpn, e)
 		g.dataAccess(w.cu, vpn, workload.Access{VA: w.va, Write: w.write}, e, w.done)
 	}
+	// All waiters are dispatched (by value); the slice can go back to the
+	// MSHR's free list. A permission-fault re-Add above draws a fresh slice,
+	// never this one.
+	g.mshr.Recycle(waiters)
 }
 
 // ---------------------------------------------------------------------------

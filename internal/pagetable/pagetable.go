@@ -92,7 +92,13 @@ func (t *Table) walkLevel(step int) int { return t.levels - step }
 // walk. If the leaf holds an invalidated PTE, ok is true and pte.Valid is
 // false — the walker walked all the way to discover staleness.
 func (t *Table) Walk(vpn memdef.VPN) (visits []Visit, pte PTE, ok bool) {
-	visits = make([]Visit, 0, t.levels)
+	return t.WalkInto(make([]Visit, 0, t.levels), vpn)
+}
+
+// WalkInto is Walk appending into a caller-provided buffer (resliced to
+// empty), letting hot callers reuse one scratch slice across walks.
+func (t *Table) WalkInto(buf []Visit, vpn memdef.VPN) (visits []Visit, pte PTE, ok bool) {
+	visits = buf[:0]
 	n := t.root
 	for step := 0; step < t.levels; step++ {
 		level := t.walkLevel(step)

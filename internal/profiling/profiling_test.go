@@ -1,0 +1,69 @@
+package profiling
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegisterInstallsFlags(t *testing.T) {
+	var f Flags
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-cpuprofile", "a", "-memprofile", "b", "-trace", "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.CPU != "a" || f.Mem != "b" || f.Trace != "c" {
+		t.Fatalf("flags not bound: %+v", f)
+	}
+}
+
+func TestStartStopWritesAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	f := Flags{
+		CPU:   filepath.Join(dir, "cpu.pprof"),
+		Mem:   filepath.Join(dir, "mem.pprof"),
+		Trace: filepath.Join(dir, "trace.out"),
+	}
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little work so the collectors have something to record.
+	sum := 0
+	for i := 0; i < 1e6; i++ {
+		sum += i
+	}
+	_ = sum
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.CPU, f.Mem, f.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+}
+
+func TestStartDisabledIsNoOp(t *testing.T) {
+	var f Flags
+	stop, err := f.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartFailsOnBadPath(t *testing.T) {
+	f := Flags{CPU: filepath.Join(t.TempDir(), "no", "such", "dir", "cpu")}
+	if _, err := f.Start(); err == nil {
+		t.Fatal("expected error for uncreatable cpuprofile path")
+	}
+}

@@ -1,6 +1,6 @@
 // Package sim provides the deterministic discrete-event simulation engine
-// that drives every timed component in the IDYLL reproduction: a binary-heap
-// event queue with stable FIFO ordering among same-cycle events, a
+// that drives every timed component in the IDYLL reproduction: a two-tier
+// calendar event queue with stable FIFO ordering among same-cycle events, a
 // multi-server resource with a bounded FIFO queue (used for walker threads
 // and host walkers), and a deterministic random number generator with a Zipf
 // sampler for workload generation.
@@ -8,28 +8,62 @@
 // All simulated time is expressed in VTime cycles of the 1 GHz GPU clock.
 // The engine is strictly single-threaded: events are closures executed in
 // (time, insertion) order, so a run with a fixed seed is bit-reproducible.
+//
+// # Queue structure
+//
+// The queue is split by distance from the clock. Events within ringWindow
+// cycles of the current time land in a ring of per-cycle FIFO buckets —
+// the overwhelmingly common Schedule(0..k) case is an O(1) append, and
+// firing is an O(1) pop off the current cycle's bucket. Events beyond the
+// ring horizon wait in a binary heap and migrate into buckets as the clock
+// advances past their admission point; each event migrates at most once.
+// A per-slot occupancy bitmap lets the drain loop skip runs of empty
+// cycles 64 at a time, so sparse stretches cost a few word tests rather
+// than a per-cycle scan.
+//
+// Event nodes are pooled on a free list and recycled as soon as they fire
+// or are cancelled. EventIDs carry a generation counter that is bumped on
+// every recycle, so a stale EventID held across a node's reuse can never
+// cancel the node's next occupant.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
+	"math/bits"
 )
 
 // VTime is a point in simulated time, in cycles of the 1 GHz GPU clock.
 type VTime int64
 
-// event is a scheduled closure. seq breaks ties so that events scheduled
-// earlier at the same cycle run first (stable FIFO within a cycle).
-type event struct {
-	at   VTime
-	seq  uint64
-	fn   func()
-	idx  int
-	dead bool
+// ringWindow is the span of the per-cycle bucket ring, in cycles. Must be a
+// power of two and a multiple of 64 (the occupancy bitmap word size). 4096
+// covers every latency constant in the model (full page walks ~400 cycles,
+// DRAM + interconnect round trips ~10^3); only long-tail timeouts take the
+// heap path.
+const ringWindow = 4096
+
+// eventNode is a scheduled closure. seq breaks ties so that events scheduled
+// earlier at the same cycle run first (stable FIFO within a cycle). Nodes
+// live on the engine's free list between uses; gen distinguishes a node's
+// successive occupants so stale EventIDs cannot cancel a reused node.
+type eventNode struct {
+	at  VTime
+	seq uint64
+	fn  func()
+	gen uint64
+	pos int  // index within its bucket slice or the far heap
+	loc int8 // locNone, locRing, locFar
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*event
+const (
+	locNone int8 = iota
+	locRing
+	locFar
+)
+
+// eventHeap orders far-future events by (time, sequence).
+type eventHeap []*eventNode
 
 func (h eventHeap) Len() int { return len(h) }
 
@@ -42,14 +76,14 @@ func (h eventHeap) Less(i, j int) bool {
 
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
+	h[i].pos = i
+	h[j].pos = j
 }
 
 func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.idx = len(*h)
-	*h = append(*h, ev)
+	n := x.(*eventNode)
+	n.pos = len(*h)
+	*h = append(*h, n)
 }
 
 func (h *eventHeap) Pop() any {
@@ -61,40 +95,97 @@ func (h *eventHeap) Pop() any {
 	return ev
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// bucket is one cycle's FIFO of events. cycle tags which cycle the contents
+// belong to, so a slot can detect leftovers from an earlier window lap (which
+// are always fully consumed or cancelled, i.e. nil) and reclaim itself.
+type bucket struct {
+	cycle VTime
+	ev    []*eventNode
+	head  int
+}
+
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is inert. An EventID whose event has fired (or been cancelled) is
+// also inert: the generation check makes Cancel a no-op even if the
+// underlying node has been recycled for a different event.
+type EventID struct {
+	n   *eventNode
+	gen uint64
+}
+
+// EngineStats are the engine's internal counters, exposed for profiling the
+// event path (see Engine.Stats).
+type EngineStats struct {
+	// Fired is how many events have executed.
+	Fired uint64
+	// RingScheduled / FarScheduled split schedules by which tier admitted
+	// them: the O(1) bucket ring vs the far-future heap.
+	RingScheduled uint64
+	FarScheduled  uint64
+	// Migrated counts heap events moved into the ring as the clock advanced.
+	Migrated uint64
+	// Cancelled counts events removed by Cancel before firing.
+	Cancelled uint64
+	// Recycled counts event nodes returned to the free list; PoolHits counts
+	// schedules served from it (allocations avoided).
+	Recycled uint64
+	PoolHits uint64
+}
 
 // Engine is the discrete-event simulation core. The zero value is not usable;
 // construct with NewEngine.
 type Engine struct {
-	now     VTime
-	seq     uint64
-	queue   eventHeap
-	fired   uint64
+	now VTime
+	seq uint64
+
+	// The ring covers cycles [winStart, winStart+ringWindow); slot is
+	// cycle & (ringWindow-1). cursor is the lowest cycle that may still hold
+	// undrained events; it never trails winStart. occ has one bit per slot.
+	winStart VTime
+	cursor   VTime
+	ring     []bucket
+	occ      []uint64
+	ringLive int
+
+	far eventHeap // events at >= winStart+ringWindow, live only
+
+	pool    []*eventNode
+	st      EngineStats
 	running bool
 }
 
+// bucketSeedCap is each bucket's pre-sized capacity. Buckets holding more
+// same-cycle events than this grow individually (and keep the grown storage
+// across window laps, since drains reslice to length 0).
+const bucketSeedCap = 8
+
 // NewEngine returns an engine positioned at cycle 0 with an empty queue.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{
+		ring: make([]bucket, ringWindow),
+		occ:  make([]uint64, ringWindow/64),
+	}
+	// One arena backs every bucket's initial storage, so filling the ring
+	// the first time costs zero allocations for cycles with up to
+	// bucketSeedCap events.
+	arena := make([]*eventNode, ringWindow*bucketSeedCap)
+	for i := range e.ring {
+		e.ring[i].ev = arena[i*bucketSeedCap : i*bucketSeedCap : (i+1)*bucketSeedCap]
+	}
+	return e
 }
 
 // Now reports the current simulated time.
 func (e *Engine) Now() VTime { return e.now }
 
 // Fired reports how many events have executed so far.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 { return e.st.Fired }
+
+// Stats returns a snapshot of the engine's internal counters.
+func (e *Engine) Stats() EngineStats { return e.st }
 
 // Pending reports how many events are scheduled but not yet executed.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.dead {
-			n++
-		}
-	}
-	return n
-}
+func (e *Engine) Pending() int { return e.ringLive + len(e.far) }
 
 // Schedule runs fn delay cycles from now. A delay of 0 runs fn later in the
 // current cycle, after all previously scheduled same-cycle events. It panics
@@ -114,18 +205,198 @@ func (e *Engine) ScheduleAt(t VTime, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	n := e.get()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return EventID{ev: ev}
+	if t < e.winStart+ringWindow {
+		e.st.RingScheduled++
+		e.pushRing(n)
+	} else {
+		e.st.FarScheduled++
+		n.loc = locFar
+		heap.Push(&e.far, n)
+	}
+	return EventID{n: n, gen: n.gen}
 }
 
-// Cancel marks a scheduled event dead so it will be skipped. Cancelling an
-// already-fired or already-cancelled event is a no-op.
-func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
-		id.ev.dead = true
+// get takes a node from the free list, or allocates one.
+func (e *Engine) get() *eventNode {
+	if len(e.pool) > 0 {
+		n := e.pool[len(e.pool)-1]
+		e.pool[len(e.pool)-1] = nil
+		e.pool = e.pool[:len(e.pool)-1]
+		e.st.PoolHits++
+		return n
 	}
+	return &eventNode{}
+}
+
+// recycle returns a node to the free list, bumping its generation so any
+// outstanding EventID for the old occupant goes inert, and dropping fn so
+// its captured state is immediately collectable.
+func (e *Engine) recycle(n *eventNode) {
+	n.fn = nil
+	n.loc = locNone
+	n.gen++
+	e.pool = append(e.pool, n)
+	e.st.Recycled++
+}
+
+// pushRing appends n to its cycle's bucket. Only cycles inside the current
+// window reach here, so the slot's previous occupants (if from an earlier
+// lap) are guaranteed consumed or cancelled.
+func (e *Engine) pushRing(n *eventNode) {
+	s := int(uint64(n.at) & (ringWindow - 1))
+	b := &e.ring[s]
+	if b.cycle != n.at {
+		b.ev = b.ev[:0]
+		b.head = 0
+		b.cycle = n.at
+	}
+	n.loc = locRing
+	n.pos = len(b.ev)
+	b.ev = append(b.ev, n)
+	e.occ[s>>6] |= 1 << (uint(s) & 63)
+	e.ringLive++
+}
+
+// Cancel removes a scheduled event. The node is recycled immediately and its
+// closure released, so a cancelled event holds no memory while waiting for
+// its cycle to pass. Cancelling an already-fired or already-cancelled event
+// (or the zero EventID) is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	n := id.n
+	if n == nil || n.gen != id.gen {
+		return
+	}
+	switch n.loc {
+	case locRing:
+		s := int(uint64(n.at) & (ringWindow - 1))
+		e.ring[s].ev[n.pos] = nil
+		e.ringLive--
+	case locFar:
+		heap.Remove(&e.far, n.pos)
+	default:
+		return
+	}
+	e.st.Cancelled++
+	e.recycle(n)
+}
+
+// advanceWindow slides the ring window forward to start at t and migrates
+// newly admitted heap events into their buckets. Migration pops in (time,
+// seq) order and bucket appends preserve it, so FIFO-within-cycle survives;
+// any event scheduled into these cycles afterwards has a higher seq and
+// lands behind the migrated ones.
+func (e *Engine) advanceWindow(t VTime) {
+	if t <= e.winStart {
+		return
+	}
+	e.winStart = t
+	if e.cursor < t {
+		e.cursor = t
+	}
+	horizon := t + ringWindow
+	for len(e.far) > 0 && e.far[0].at < horizon {
+		n := heap.Pop(&e.far).(*eventNode)
+		e.pushRing(n)
+		e.st.Migrated++
+	}
+}
+
+// popRing removes and returns the earliest live ring event at time <= limit
+// (limit < 0 means no limit), or nil if the ring has none. It advances
+// cursor past drained cycles, clearing their occupancy bits.
+func (e *Engine) popRing(limit VTime) *eventNode {
+	end := e.winStart + ringWindow
+	for e.ringLive > 0 && e.cursor < end {
+		if limit >= 0 && e.cursor > limit {
+			return nil
+		}
+		s := int(uint64(e.cursor) & (ringWindow - 1))
+		w := e.occ[s>>6] >> (uint(s) & 63)
+		if w == 0 {
+			// Nothing in this bitmap word at or after cursor: skip to the
+			// next word boundary.
+			e.cursor += VTime(64 - (s & 63))
+			continue
+		}
+		if d := bits.TrailingZeros64(w); d > 0 {
+			e.cursor += VTime(d)
+			continue // re-check limit at the new cycle
+		}
+		b := &e.ring[s]
+		if b.cycle != e.cursor {
+			// Stale occupancy from an earlier lap; the contents are all
+			// consumed or cancelled. Reclaim and move on.
+			b.ev, b.head = b.ev[:0], 0
+			e.occ[s>>6] &^= 1 << (uint(s) & 63)
+			e.cursor++
+			continue
+		}
+		for b.head < len(b.ev) {
+			n := b.ev[b.head]
+			b.ev[b.head] = nil
+			b.head++
+			if n != nil {
+				e.ringLive--
+				n.loc = locNone
+				return n
+			}
+		}
+		b.ev, b.head = b.ev[:0], 0
+		e.occ[s>>6] &^= 1 << (uint(s) & 63)
+		e.cursor++
+	}
+	return nil
+}
+
+// popNext removes and returns the earliest live event at time <= limit, or
+// nil. Ring events always precede heap events (the heap holds only times
+// beyond the window), so the ring is authoritative while it has any.
+func (e *Engine) popNext(limit VTime) *eventNode {
+	for {
+		if e.ringLive > 0 {
+			if n := e.popRing(limit); n != nil {
+				return n
+			}
+			if e.ringLive > 0 {
+				return nil // limit cut inside the window
+			}
+			continue // ring went empty while scanning; consult the heap
+		}
+		if len(e.far) == 0 {
+			return nil
+		}
+		t := e.far[0].at
+		if limit >= 0 && t > limit {
+			return nil
+		}
+		// Jump the window to the heap's minimum; its events migrate into
+		// buckets and the next loop pass drains them in order.
+		e.advanceWindow(t)
+	}
+}
+
+// fireNext executes the earliest live event with time <= limit and reports
+// whether one ran. The window slides before the closure runs, so anything
+// the closure schedules sees a fully migrated ring.
+func (e *Engine) fireNext(limit VTime) bool {
+	n := e.popNext(limit)
+	if n == nil {
+		return false
+	}
+	if n.at != e.now {
+		e.now = n.at
+		e.advanceWindow(n.at)
+	}
+	fn := n.fn
+	e.recycle(n)
+	e.st.Fired++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty and returns the final time.
@@ -142,18 +413,7 @@ func (e *Engine) RunUntil(limit VTime) VTime {
 	}
 	e.running = true
 	defer func() { e.running = false }()
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if limit >= 0 && next.at > limit {
-			break
-		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+	for e.fireNext(limit) {
 	}
 	return e.now
 }
@@ -161,15 +421,5 @@ func (e *Engine) RunUntil(limit VTime) VTime {
 // Step executes the single earliest live event, if any, and reports whether
 // one was executed.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*event)
-		if next.dead {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
-		return true
-	}
-	return false
+	return e.fireNext(-1)
 }

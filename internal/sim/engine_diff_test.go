@@ -1,0 +1,405 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// refEvent / refHeap / refEngine are the pre-calendar-queue engine: a single
+// binary heap ordered by (time, seq) with dead-marking Cancel. It is the
+// ordering oracle for the differential tests — any divergence between it and
+// Engine is a determinism bug in the two-tier queue.
+type refEvent struct {
+	at   VTime
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	now   VTime
+	seq   uint64
+	queue refHeap
+}
+
+func (e *refEngine) Schedule(delay VTime, fn func()) *refEvent {
+	ev := &refEvent{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+func (e *refEngine) RunUntil(limit VTime) {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if limit >= 0 && next.at > limit {
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.at
+		next.fn()
+	}
+}
+
+// diffOp is one step of a randomized schedule script, interpreted identically
+// against both engines.
+type diffOp struct {
+	delay  VTime // scheduling delay for this op's event
+	nested VTime // if >= 0, the fired event schedules a child at this delay
+	cancel int   // if >= 0, cancel the id recorded under this op index
+}
+
+// genOps builds a script whose delays straddle the bucket/heap horizon:
+// mostly small (bucket path), some just around ringWindow (the migration
+// edge), some far beyond it (heap path).
+func genOps(r *rand.Rand, n int) []diffOp {
+	ops := make([]diffOp, n)
+	for i := range ops {
+		ops[i] = diffOp{delay: diffDelay(r), nested: -1, cancel: -1}
+		if r.Intn(4) == 0 {
+			ops[i].nested = diffDelay(r)
+		}
+		if i > 0 && r.Intn(5) == 0 {
+			ops[i].cancel = r.Intn(i)
+		}
+	}
+	return ops
+}
+
+func diffDelay(r *rand.Rand) VTime {
+	switch r.Intn(10) {
+	case 0, 1, 2, 3, 4: // dense near-future: the bucket fast path
+		return VTime(r.Intn(64))
+	case 5, 6: // mid-window
+		return VTime(r.Intn(ringWindow))
+	case 7, 8: // the horizon edge, both sides
+		return ringWindow - 8 + VTime(r.Intn(16))
+	default: // far future: heap path, exercises migration
+		return ringWindow + VTime(r.Intn(4*ringWindow))
+	}
+}
+
+// runDiff replays ops through both engines, interleaving RunUntil segments,
+// and returns the two firing-order traces. Each fired event records (op
+// index, time); nested children record (parent index + offset, time).
+func runDiff(t *testing.T, seed int64, nOps int) (got, want [][2]int64) {
+	ops := genOps(rand.New(rand.NewSource(seed)), nOps)
+
+	{
+		e := NewEngine()
+		ids := make([]EventID, len(ops))
+		for i, op := range ops {
+			i, op := i, op
+			ids[i] = e.Schedule(op.delay, func() {
+				got = append(got, [2]int64{int64(i), int64(e.Now())})
+				if op.nested >= 0 {
+					e.Schedule(op.nested, func() {
+						got = append(got, [2]int64{int64(i) + 1_000_000, int64(e.Now())})
+					})
+				}
+			})
+			if op.cancel >= 0 {
+				e.Cancel(ids[op.cancel])
+			}
+		}
+		// Run in limit segments so the horizon is crossed mid-run.
+		for limit := VTime(ringWindow / 2); e.Pending() > 0; limit += ringWindow / 2 {
+			e.RunUntil(limit)
+		}
+	}
+
+	{
+		e := &refEngine{}
+		ids := make([]*refEvent, len(ops))
+		for i, op := range ops {
+			i, op := i, op
+			ids[i] = e.Schedule(op.delay, func() {
+				want = append(want, [2]int64{int64(i), int64(e.now)})
+				if op.nested >= 0 {
+					e.Schedule(op.nested, func() {
+						want = append(want, [2]int64{int64(i) + 1_000_000, int64(e.now)})
+					})
+				}
+			})
+			if op.cancel >= 0 {
+				ids[op.cancel].dead = true
+			}
+		}
+		for limit := VTime(ringWindow / 2); len(e.queue) > 0; limit += ringWindow / 2 {
+			e.RunUntil(limit)
+		}
+	}
+	return got, want
+}
+
+// TestEngineDifferentialVsHeap replays randomized schedule scripts — nested
+// schedules, cancels, delays straddling the bucket/heap horizon, segmented
+// RunUntil — through the calendar queue and the reference heap and requires
+// identical firing orders.
+func TestEngineDifferentialVsHeap(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		got, want := runDiff(t, seed, 400)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at firing %d: got (op %d, t=%d), want (op %d, t=%d)",
+					seed, i, got[i][0], got[i][1], want[i][0], want[i][1])
+			}
+		}
+	}
+}
+
+// TestEngineHorizonBoundary pins the bucket↔heap boundary cases: an event
+// exactly at now+ringWindow goes to the heap and must still interleave
+// correctly with ring events, including same-cycle FIFO after migration.
+func TestEngineHorizonBoundary(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	// Beyond horizon: heap path (seq 0).
+	e.Schedule(ringWindow, func() { order = append(order, 0) })
+	// In-window event that advances the clock so the horizon slides and the
+	// heap event migrates into a bucket.
+	e.Schedule(10, func() {
+		// Now ringWindow is inside the new window [10, 10+ringWindow):
+		// this schedule appends to the same bucket the migrated event is in,
+		// and must fire after it (lower seq first).
+		e.ScheduleAt(ringWindow, func() { order = append(order, 1) })
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != 0 || order[1] != 1 {
+		t.Fatalf("horizon interleave order = %v, want [0 1]", order)
+	}
+	if e.Now() != ringWindow {
+		t.Fatalf("final time = %d, want %d", e.Now(), ringWindow)
+	}
+}
+
+// TestEngineRunUntilAtHorizon checks that a limit cut between the window and
+// a far-future event leaves the far event intact and the clock unmoved.
+func TestEngineRunUntilAtHorizon(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(5, func() { fired++ })
+	e.Schedule(2*ringWindow, func() { fired++ })
+	e.RunUntil(ringWindow)
+	if fired != 1 || e.Pending() != 1 {
+		t.Fatalf("after limited run: fired=%d pending=%d, want 1/1", fired, e.Pending())
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock = %d, want 5 (last executed event)", e.Now())
+	}
+	e.Run()
+	if fired != 2 || e.Pending() != 0 {
+		t.Fatalf("after full run: fired=%d pending=%d, want 2/0", fired, e.Pending())
+	}
+}
+
+// TestEngineStepAcrossHorizon drives Step one event at a time across a
+// window jump.
+func TestEngineStepAcrossHorizon(t *testing.T) {
+	e := NewEngine()
+	var times []VTime
+	e.Schedule(1, func() { times = append(times, e.Now()) })
+	e.Schedule(3*ringWindow, func() { times = append(times, e.Now()) })
+	for e.Step() {
+	}
+	if len(times) != 2 || times[0] != 1 || times[1] != 3*ringWindow {
+		t.Fatalf("step times = %v, want [1 %d]", times, 3*ringWindow)
+	}
+}
+
+// TestEngineCancelFarEvent cancels an event on the heap tier and one on the
+// ring tier; neither may fire and both nodes recycle eagerly.
+func TestEngineCancelFarEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	near := e.Schedule(4, func() { ran = true })
+	far := e.Schedule(10*ringWindow, func() { ran = true })
+	e.Cancel(near)
+	e.Cancel(far)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after cancelling both, want 0", e.Pending())
+	}
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if st := e.Stats(); st.Cancelled != 2 || st.Recycled != 2 {
+		t.Fatalf("stats = %+v, want 2 cancelled, 2 recycled", st)
+	}
+}
+
+// TestEngineStaleCancelAfterReuse holds an EventID across its node's fire
+// and reuse: the stale Cancel must be a no-op and the node's new occupant
+// must still fire. This is the generation-check contract that makes eager
+// pooling safe.
+func TestEngineStaleCancelAfterReuse(t *testing.T) {
+	e := NewEngine()
+	stale := e.Schedule(1, func() {})
+	e.Run() // fires; node recycled to the pool
+
+	ran := false
+	fresh := e.Schedule(1, func() { ran = true }) // reuses the pooled node
+	if fresh.n != stale.n {
+		t.Skip("pool did not reuse the node; generation check not exercised")
+	}
+	e.Cancel(stale) // stale generation: must not touch the new occupant
+	e.Run()
+	if !ran {
+		t.Fatal("stale Cancel killed a reused node's new event")
+	}
+	if e.Stats().Cancelled != 0 {
+		t.Fatalf("stale cancel was counted: %+v", e.Stats())
+	}
+}
+
+// TestEngineDoubleCancel checks Cancel idempotence under pooling: the second
+// Cancel of the same id sees a bumped generation and is a no-op.
+func TestEngineDoubleCancel(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(5, func() {})
+	other := e.Schedule(5, func() {})
+	e.Cancel(id)
+	e.Cancel(id) // node is back in the pool; must not corrupt it
+	_ = other
+	e.Run()
+	if got := e.Stats().Cancelled; got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+	if e.Fired() != 1 {
+		t.Fatalf("fired = %d, want 1 (the uncancelled event)", e.Fired())
+	}
+}
+
+// TestEngineMassCancelReleasesMemory schedules a large batch of events whose
+// closures pin big buffers, cancels them all, and checks the heap shrinks
+// back before their cycle ever arrives — the eager-recycle contract.
+func TestEngineMassCancelReleasesMemory(t *testing.T) {
+	e := NewEngine()
+	const n = 2000
+	ids := make([]EventID, n)
+	for i := range ids {
+		buf := make([]byte, 64<<10)
+		ids[i] = e.Schedule(VTime(100+i%32), func() { _ = buf[0] })
+	}
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for _, id := range ids {
+		e.Cancel(id)
+	}
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after mass cancel, want 0", e.Pending())
+	}
+	// The ~125 MB of closure-captured buffers must be gone without the
+	// clock having advanced at all.
+	if freed := int64(before.HeapInuse) - int64(after.HeapInuse); freed < int64(n)*(64<<10)/2 {
+		t.Fatalf("mass cancel released only %d bytes of ~%d buffered", freed, n*(64<<10))
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock moved to %d during cancel", e.Now())
+	}
+}
+
+// TestEnginePendingIsLive checks the O(1) pending counter against schedule /
+// fire / cancel transitions on both tiers.
+func TestEnginePendingIsLive(t *testing.T) {
+	e := NewEngine()
+	a := e.Schedule(1, func() {})
+	b := e.Schedule(2*ringWindow, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(b)
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d after far cancel, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d after run, want 0", e.Pending())
+	}
+	_ = a
+}
+
+// TestEngineWindowLapReusesBuckets walks the clock through several full
+// window laps so ring slots are reused for new cycles, checking order and
+// count the whole way.
+func TestEngineWindowLapReusesBuckets(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	var last VTime = -1
+	var step func()
+	step = func() {
+		if e.Now() < last {
+			t.Fatalf("time went backwards: %d after %d", e.Now(), last)
+		}
+		last = e.Now()
+		fired++
+		if fired < 3000 {
+			// 37 and 4096 are coprime, so successive events sweep every slot.
+			e.Schedule(37, step)
+		}
+	}
+	e.Schedule(0, step)
+	e.Run()
+	if fired != 3000 {
+		t.Fatalf("fired %d, want 3000", fired)
+	}
+	if want := VTime(2999 * 37); e.Now() != want {
+		t.Fatalf("final time %d, want %d", e.Now(), want)
+	}
+}
+
+// TestEnginePoolRoundTrip checks the pool counters: after a burst of
+// schedule/fire cycles every node but the first few comes from the free
+// list.
+func TestEnginePoolRoundTrip(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(VTime(i%8), func() {})
+		if i%16 == 15 {
+			e.Run()
+		}
+	}
+	e.Run()
+	st := e.Stats()
+	if st.Fired != 1000 {
+		t.Fatalf("fired = %d, want 1000", st.Fired)
+	}
+	if st.PoolHits < 900 {
+		t.Fatalf("pool hits = %d of 1000 schedules; pooling is not engaging", st.PoolHits)
+	}
+	if st.Recycled != 1000 {
+		t.Fatalf("recycled = %d, want 1000", st.Recycled)
+	}
+}

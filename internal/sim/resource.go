@@ -16,6 +16,13 @@ type Resource struct {
 	capacity int // queue capacity; <0 means unbounded
 	queue    []func(release func())
 
+	// dispatchFn is the Schedule target for every release, bound once so
+	// releasing never allocates a method-value closure.
+	dispatchFn func()
+	// relFree recycles release states (and their bound closures) between
+	// jobs; see makeRelease.
+	relFree []*releaseState
+
 	// OnIdle, if non-nil, is invoked whenever a server frees and the queue is
 	// empty — i.e. the resource has spare capacity. The IRMB uses this hook to
 	// drain merged invalidation entries "when the page table walker is
@@ -29,13 +36,26 @@ type Resource struct {
 	rejected   uint64
 }
 
+// releaseState is one pooled release callback. fn is built once, bound to
+// the state, and handed to every job the state serves.
+type releaseState struct {
+	r        *Resource
+	released bool
+	fn       func()
+}
+
 // NewResource returns a resource with the given number of servers and queue
 // capacity (queueCap < 0 means unbounded).
 func NewResource(engine *Engine, servers, queueCap int) *Resource {
 	if servers <= 0 {
 		panic("sim: resource needs at least one server")
 	}
-	return &Resource{engine: engine, servers: servers, capacity: queueCap}
+	r := &Resource{engine: engine, servers: servers, capacity: queueCap}
+	r.dispatchFn = r.dispatch
+	if queueCap > 0 {
+		r.queue = make([]func(release func()), 0, queueCap)
+	}
+	return r
 }
 
 // Servers reports the number of servers in the pool.
@@ -88,19 +108,33 @@ func (r *Resource) Acquire(job func(release func())) bool {
 	return true
 }
 
-// makeRelease builds the single-use release callback for a running job.
+// makeRelease hands out the single-use release callback for a running job,
+// drawing from the state pool. A state returns to the pool when released, so
+// a double release is detected for as long as the state has not been handed
+// to a later job (which covers the realistic bug: calling release twice in
+// the same completion path).
 func (r *Resource) makeRelease() func() {
-	released := false
-	return func() {
-		if released {
-			panic("sim: double release of resource server")
+	var s *releaseState
+	if n := len(r.relFree); n > 0 {
+		s = r.relFree[n-1]
+		r.relFree[n-1] = nil
+		r.relFree = r.relFree[:n-1]
+		s.released = false
+	} else {
+		s = &releaseState{r: r}
+		s.fn = func() {
+			if s.released {
+				panic("sim: double release of resource server")
+			}
+			s.released = true
+			s.r.relFree = append(s.r.relFree, s)
+			// Releasing and redispatching happens as a fresh event so that the
+			// releasing job's stack unwinds first; this keeps call chains
+			// shallow and ordering intuitive (same-cycle FIFO).
+			s.r.engine.Schedule(0, s.r.dispatchFn)
 		}
-		released = true
-		// Releasing and redispatching happens as a fresh event so that the
-		// releasing job's stack unwinds first; this keeps call chains shallow
-		// and ordering intuitive (same-cycle FIFO).
-		r.engine.Schedule(0, r.dispatch)
 	}
+	return s.fn
 }
 
 // dispatch hands a freed server to the next queued job, or fires OnIdle.

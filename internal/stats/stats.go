@@ -120,6 +120,18 @@ type Sim struct {
 	NVLinkBytes uint64
 	PCIeBytes   uint64
 
+	// Event-engine internals (sim.EngineStats, copied at end of run): how
+	// many events fired, how schedules split between the O(1) bucket ring
+	// and the far-future heap, heap→ring migrations, and event-node pool
+	// traffic. These quantify the simulator's own hot path, not the modelled
+	// hardware.
+	EngineEvents        uint64
+	EngineRingScheduled uint64
+	EngineFarScheduled  uint64
+	EngineMigrated      uint64
+	EngineCancelled     uint64
+	EnginePoolHits      uint64
+
 	// DemandMissHist and InvalHist capture the full latency distributions
 	// behind DemandMiss and Inval, for percentile reporting.
 	DemandMissHist *Histogram
@@ -146,6 +158,16 @@ func (s *Sim) MPKI() float64 {
 		return 0
 	}
 	return float64(s.L2TLBLookups-s.L2TLBHits) / float64(s.Instructions) * 1000
+}
+
+// EngineBucketFraction reports the share of schedules served by the bucket
+// ring's O(1) path rather than the heap.
+func (s *Sim) EngineBucketFraction() float64 {
+	total := s.EngineRingScheduled + s.EngineFarScheduled
+	if total == 0 {
+		return 0
+	}
+	return float64(s.EngineRingScheduled) / float64(total)
 }
 
 // Speedup reports base-exec-time / this-exec-time: >1 means faster than base.

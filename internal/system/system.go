@@ -127,6 +127,13 @@ func (s *System) Run(trace *workload.Trace) (*stats.Sim, error) {
 	}
 	s.Stats.ExecCycles = execEnd
 	s.Stats.NVLinkBytes, s.Stats.PCIeBytes = s.Net.TotalBytes()
+	es := s.Engine.Stats()
+	s.Stats.EngineEvents = es.Fired
+	s.Stats.EngineRingScheduled = es.RingScheduled
+	s.Stats.EngineFarScheduled = es.FarScheduled
+	s.Stats.EngineMigrated = es.Migrated
+	s.Stats.EngineCancelled = es.Cancelled
+	s.Stats.EnginePoolHits = es.PoolHits
 	for _, g := range s.GPUs {
 		if irmb := g.IRMB(); irmb != nil {
 			_, merges, _, _, _, _ := irmb.Stats()

@@ -13,10 +13,14 @@ import "idyll/internal/memdef"
 type MSHR[W any] struct {
 	capacity int
 	pending  map[memdef.VPN][]W
+	// free recycles waiter slices between misses (see Recycle), so the
+	// per-miss Add path stops allocating once the MSHR has warmed up.
+	free [][]W
 
-	allocs uint64
-	merges uint64
-	full   uint64
+	allocs   uint64
+	merges   uint64
+	full     uint64
+	recycles uint64
 }
 
 // NewMSHR builds an MSHR with the given entry capacity (capacity <= 0 means
@@ -50,9 +54,33 @@ func (m *MSHR[W]) Add(vpn memdef.VPN, waiter W) Outcome {
 		m.full++
 		return Full
 	}
-	m.pending[vpn] = []W{waiter}
+	ws := m.getSlice()
+	m.pending[vpn] = append(ws, waiter)
 	m.allocs++
 	return Allocated
+}
+
+// getSlice takes an empty waiter slice from the free list, or makes one.
+func (m *MSHR[W]) getSlice() []W {
+	if n := len(m.free); n > 0 {
+		ws := m.free[n-1]
+		m.free[n-1] = nil
+		m.free = m.free[:n-1]
+		return ws
+	}
+	return make([]W, 0, 4)
+}
+
+// Recycle returns a slice obtained from Complete to the MSHR's free list.
+// The caller must be done with it: its elements are cleared (so captured
+// continuations are collectable) and its storage is handed to a future Add.
+func (m *MSHR[W]) Recycle(ws []W) {
+	if cap(ws) == 0 {
+		return
+	}
+	clear(ws)
+	m.free = append(m.free, ws[:0])
+	m.recycles++
 }
 
 // Pending reports whether vpn has an outstanding miss.
@@ -75,3 +103,6 @@ func (m *MSHR[W]) Len() int { return len(m.pending) }
 func (m *MSHR[W]) Stats() (allocs, merges, full uint64) {
 	return m.allocs, m.merges, m.full
 }
+
+// Recycles reports how many waiter slices have been returned via Recycle.
+func (m *MSHR[W]) Recycles() uint64 { return m.recycles }

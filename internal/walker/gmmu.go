@@ -56,6 +56,10 @@ type GMMU struct {
 	pwc     *cache.SetAssoc[pwcKey, struct{}]
 	walkers *sim.Resource
 	st      *stats.Sim
+	// scratch is the walk-visit buffer reused across walks: visits are
+	// consumed synchronously by walkCost before any other walk can start,
+	// so one buffer per GMMU suffices and the walk path never allocates.
+	scratch []pagetable.Visit
 }
 
 // New builds a GMMU over the GPU's local page table. st may be shared with
@@ -121,11 +125,12 @@ func (g *GMMU) walkCost(visits []pagetable.Visit) sim.VTime {
 // updates create the radix path as they descend).
 func (g *GMMU) fullWalkCost(vpn memdef.VPN) sim.VTime {
 	levels := g.pt.Levels()
-	visits := make([]pagetable.Visit, levels)
+	visits := g.scratch[:0]
 	for i := 0; i < levels; i++ {
 		level := levels - i
-		visits[i] = pagetable.Visit{Level: level, Prefix: memdef.LevelPrefix(vpn, level)}
+		visits = append(visits, pagetable.Visit{Level: level, Prefix: memdef.LevelPrefix(vpn, level)})
 	}
+	g.scratch = visits
 	return g.walkCost(visits)
 }
 
@@ -145,7 +150,8 @@ func (g *GMMU) enqueue(job func(release func())) {
 func (g *GMMU) Demand(vpn memdef.VPN, done func(pte pagetable.PTE, ok bool)) {
 	g.st.WalkerDemand++
 	g.enqueue(func(release func()) {
-		visits, pte, ok := g.pt.Walk(vpn)
+		visits, pte, ok := g.pt.WalkInto(g.scratch, vpn)
+		g.scratch = visits
 		cost := g.walkCost(visits)
 		g.engine.Schedule(cost, func() {
 			release()
@@ -160,7 +166,8 @@ func (g *GMMU) Demand(vpn memdef.VPN, done func(pte pagetable.PTE, ok bool)) {
 func (g *GMMU) Invalidate(vpn memdef.VPN, done func(wasValid bool)) {
 	g.st.WalkerInval++
 	g.enqueue(func(release func()) {
-		visits, _, _ := g.pt.Walk(vpn)
+		visits, _, _ := g.pt.WalkInto(g.scratch, vpn)
+		g.scratch = visits
 		cost := g.walkCost(visits)
 		g.st.InvalBusy += cost
 		g.engine.Schedule(cost, func() {
@@ -219,7 +226,8 @@ func (g *GMMU) batchStep(vpns []memdef.VPN, i int, skip func(memdef.VPN) bool,
 		g.batchStep(vpns, i+1, skip, each, release, done)
 		return
 	}
-	visits, _, _ := g.pt.Walk(vpns[i])
+	visits, _, _ := g.pt.WalkInto(g.scratch, vpns[i])
+	g.scratch = visits
 	cost := g.walkCost(visits)
 	g.st.InvalBusy += cost
 	g.engine.Schedule(cost, func() {

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-tracked benchmark set and gate/record results.
+#
+#   scripts/bench.sh run [count]       # run benchmarks, print + save output
+#   scripts/bench.sh check [count]     # run, then gate allocs/op + B/op
+#                                      # against BENCH_PR2.json (wall-clock is
+#                                      # machine-dependent, so it is NOT gated
+#                                      # against the committed baseline)
+#   scripts/bench.sh record [count]    # run, then rewrite BENCH_PR2.json
+#   scripts/bench.sh compare OLD NEW   # diff two saved bench outputs
+#                                      # (10% ns/op + allocs/op thresholds)
+#
+# The tracked set is the micro-benchmarks plus the two end-to-end throughput
+# benchmarks; see BENCH_PR2.json for the committed baseline and DESIGN.md
+# "Engine internals & profiling" for how these numbers are used.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN='^(BenchmarkEventEngine|BenchmarkIRMBInsertLookup|BenchmarkZipfSampling|BenchmarkSimulatePageRank|BenchmarkSuiteFig11Serial)$'
+BASELINE=BENCH_PR2.json
+OUT=${BENCH_OUT:-/tmp/idyll_bench.txt}
+
+run_bench() {
+    local count=${1:-5}
+    # -count gives benchdiff a median to collapse, which is what makes the
+    # wall-clock numbers usable on shared machines.
+    go test -run '^$' -bench "$PATTERN" -benchmem -count "$count" . | tee "$OUT"
+}
+
+case "${1:-run}" in
+run)
+    run_bench "${2:-5}"
+    echo "saved to $OUT"
+    ;;
+check)
+    run_bench "${2:-5}"
+    echo
+    echo "== gate: allocs/op + B/op vs $BASELINE =="
+    go run ./cmd/benchdiff -time -1 -bytes 0.10 -require "$BASELINE" "$OUT"
+    ;;
+record)
+    run_bench "${2:-5}"
+    go run ./cmd/benchdiff -emit "$BASELINE" "$OUT"
+    ;;
+compare)
+    [ $# -eq 3 ] || { echo "usage: $0 compare OLD NEW" >&2; exit 2; }
+    go run ./cmd/benchdiff "$2" "$3"
+    ;;
+*)
+    echo "usage: $0 {run|check|record|compare} ..." >&2
+    exit 2
+    ;;
+esac
