@@ -12,14 +12,19 @@
 //	idyllbench                 # regenerate everything, all cores
 //	idyllbench -jobs 1         # serial (same output, slower)
 //	idyllbench -fig fig11      # one experiment
+//	idyllbench fig11 fig12     # same, positional (unknown IDs exit non-zero)
 //	idyllbench -list           # list experiment IDs
 //	idyllbench -cus 8 -accesses 300   # smaller scale
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"idyll/internal/experiment"
@@ -75,14 +80,31 @@ func main() {
 	}
 	o.Jobs = *jobs
 
-	entries := experiment.Registry()
+	// Ctrl-C / SIGTERM cancels the suite cooperatively: workers stop at
+	// their next event-loop batch instead of running their cell to the end.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	o = o.WithContext(ctx)
+
+	// Figure IDs come from -fig and/or positional arguments; every ID must
+	// resolve, and an unknown one exits non-zero naming the valid set
+	// (positional IDs used to be ignored silently, regenerating everything).
+	ids := flag.Args()
 	if *fig != "" {
-		e, err := experiment.Find(*fig)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "idyllbench:", err)
-			os.Exit(1)
+		ids = append([]string{*fig}, ids...)
+	}
+	entries := experiment.Registry()
+	if len(ids) > 0 {
+		entries = entries[:0]
+		for _, id := range ids {
+			e, err := experiment.Find(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "idyllbench:", err)
+				os.Exit(1)
+			}
+			entries = append(entries, e)
 		}
-		entries = []experiment.Entry{e}
 	}
 
 	start := time.Now()
@@ -93,6 +115,10 @@ func main() {
 		}
 		tab, err := e.Run(o)
 		if err != nil {
+			if errors.Is(err, context.Canceled) || ctx.Err() != nil {
+				fmt.Fprintf(os.Stderr, "idyllbench: %s: interrupted\n", e.ID)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "idyllbench: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,268 @@
+// Command idyllctl is the CLI client for an idylld daemon, built on the
+// typed client in internal/service.
+//
+//	idyllctl -server http://127.0.0.1:8080 submit -app PR -scheme idyll
+//	idyllctl submit -figure fig11 -cus 4 -accesses 200      # queue a figure
+//	idyllctl status j-000001                                # one-shot status
+//	idyllctl wait j-000001                                  # stream progress, print result
+//	idyllctl submit -wait -app PR -scheme idyll             # submit + wait
+//	idyllctl figure fig11 -cus 4 -accesses 200              # synchronous figure
+//	idyllctl metrics                                        # daemon counters
+//
+// The server address comes from -server or the IDYLLD_ADDR environment
+// variable (default http://127.0.0.1:8080).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"idyll/internal/experiment"
+	"idyll/internal/service"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  idyllctl [-server URL] submit [-wait] (-figure ID | -app ABBR -scheme NAME) [scale flags]
+  idyllctl [-server URL] status JOB_ID
+  idyllctl [-server URL] wait JOB_ID
+  idyllctl [-server URL] figure ID [scale flags]
+  idyllctl [-server URL] metrics
+
+scale flags: -cus N -accesses N -seed N -threshold N -apps A,B -timeout DURATION`)
+	os.Exit(2)
+}
+
+func main() {
+	server := flag.String("server", "", "daemon base URL (default $IDYLLD_ADDR or http://127.0.0.1:8080)")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	base := *server
+	if base == "" {
+		base = os.Getenv("IDYLLD_ADDR")
+	}
+	if base == "" {
+		base = "http://127.0.0.1:8080"
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := service.NewClient(base)
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	args := flag.Args()
+	switch args[0] {
+	case "submit":
+		cmdSubmit(ctx, c, args[1:])
+	case "status":
+		cmdStatus(ctx, c, args[1:])
+	case "wait":
+		cmdWait(ctx, c, args[1:])
+	case "figure":
+		cmdFigure(ctx, c, args[1:])
+	case "metrics":
+		cmdMetrics(ctx, c)
+	default:
+		fmt.Fprintf(os.Stderr, "idyllctl: unknown command %q\n", args[0])
+		usage()
+	}
+}
+
+// scaleFlags registers the shared experiment-scale flags on fs and returns
+// a builder for the options JSON.
+func scaleFlags(fs *flag.FlagSet) func() ([]byte, error) {
+	cus := fs.Int("cus", 0, "CUs per GPU (0 = daemon default)")
+	accesses := fs.Int("accesses", 0, "accesses per CU")
+	seed := fs.Uint64("seed", 0, "workload seed")
+	threshold := fs.Int("threshold", 0, "access-counter threshold")
+	apps := fs.String("apps", "", "comma-separated app subset")
+	return func() ([]byte, error) {
+		o := experiment.Options{
+			CUsPerGPU:        *cus,
+			AccessesPerCU:    *accesses,
+			Seed:             *seed,
+			CounterThreshold: *threshold,
+		}
+		if *apps != "" {
+			for _, a := range strings.Split(*apps, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					o.Apps = append(o.Apps, a)
+				}
+			}
+		}
+		return o.CanonicalJSON()
+	}
+}
+
+func cmdSubmit(ctx context.Context, c *service.Client, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	figure := fs.String("figure", "", "submit a whole figure/table by registry ID")
+	app := fs.String("app", "", "application abbreviation (cell jobs)")
+	scheme := fs.String("scheme", "", "scheme name (cell jobs)")
+	timeout := fs.Duration("timeout", 0, "per-job run-time cap (0 = daemon default)")
+	wait := fs.Bool("wait", false, "wait for completion and print the result")
+	opts := scaleFlags(fs)
+	fs.Parse(args)
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "idyllctl: unexpected argument %q\n", fs.Arg(0))
+		usage()
+	}
+
+	spec := service.JobSpec{TimeoutMS: timeout.Milliseconds()}
+	switch {
+	case *figure != "" && *app == "" && *scheme == "":
+		spec.Kind, spec.Figure = service.KindFigure, *figure
+	case *figure == "" && *app != "" && *scheme != "":
+		spec.Kind, spec.App, spec.Scheme = service.KindCell, *app, *scheme
+	default:
+		fmt.Fprintln(os.Stderr, "idyllctl: submit needs either -figure, or -app and -scheme")
+		usage()
+	}
+	raw, err := opts()
+	fatal(err)
+	spec.Options = raw
+
+	st, err := c.Submit(ctx, spec)
+	fatal(err)
+	describeSubmission(st)
+	if !*wait || terminal(st.Status) {
+		if terminal(st.Status) {
+			printResult(st)
+		}
+		return
+	}
+	st, err = c.Wait(ctx, st.ID, progressPrinter())
+	fatal(err)
+	printResult(st)
+}
+
+func describeSubmission(st *service.JobStatus) {
+	state := st.Status
+	switch {
+	case st.Cached:
+		state += " (cache hit)"
+	case st.Deduped:
+		state += " (attached to identical in-flight job)"
+	}
+	fmt.Fprintf(os.Stderr, "job %s: %s  hash %s\n", st.ID, state, short(st.Hash))
+}
+
+func cmdStatus(ctx context.Context, c *service.Client, args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	st, err := c.Status(ctx, args[0])
+	fatal(err)
+	fmt.Printf("id:     %s\nstatus: %s\nhash:   %s\n", st.ID, st.Status, st.Hash)
+	if st.Error != "" {
+		fmt.Printf("error:  %s\n", st.Error)
+	}
+	if len(st.Result) > 0 {
+		fmt.Printf("result: %d bytes (idyllctl wait %s to print)\n", len(st.Result), st.ID)
+	}
+}
+
+func cmdWait(ctx context.Context, c *service.Client, args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	st, err := c.Wait(ctx, args[0], progressPrinter())
+	fatal(err)
+	printResult(st)
+}
+
+func cmdFigure(ctx context.Context, c *service.Client, args []string) {
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		usage()
+	}
+	name := args[0]
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	opts := scaleFlags(fs)
+	fs.Parse(args[1:])
+	raw, err := opts()
+	fatal(err)
+	o, err := experiment.OptionsFromCanonicalJSON(raw)
+	fatal(err)
+	tab, err := c.Figure(ctx, name, o)
+	fatal(err)
+	fmt.Print(tab.Render())
+}
+
+func cmdMetrics(ctx context.Context, c *service.Client) {
+	m, err := c.Metrics(ctx)
+	fatal(err)
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s %g\n", name, m[name])
+	}
+}
+
+// progressPrinter renders progress events as a single updating stderr line.
+func progressPrinter() func(service.Event) {
+	var last time.Time
+	return func(ev service.Event) {
+		switch ev.Type {
+		case "progress":
+			if time.Since(last) < 100*time.Millisecond && ev.Done < ev.Total {
+				return
+			}
+			last = time.Now()
+			fmt.Fprintf(os.Stderr, "\r%3d/%3d cells  %-32s", ev.Done, ev.Total, ev.Cell)
+			if ev.Done == ev.Total {
+				fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+			}
+		case "failed", "cancelled":
+			fmt.Fprintf(os.Stderr, "\r%-60s\r", "")
+		}
+	}
+}
+
+func printResult(st *service.JobStatus) {
+	switch st.Status {
+	case service.StatusDone:
+		fmt.Println(string(st.Result))
+	case service.StatusFailed:
+		fmt.Fprintf(os.Stderr, "idyllctl: job %s failed: %s\n", st.ID, st.Error)
+		os.Exit(1)
+	case service.StatusCancelled:
+		fmt.Fprintf(os.Stderr, "idyllctl: job %s cancelled: %s\n", st.ID, st.Error)
+		os.Exit(1)
+	}
+}
+
+func terminal(status string) bool {
+	return status == service.StatusDone || status == service.StatusFailed ||
+		status == service.StatusCancelled
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idyllctl:", err)
+		os.Exit(1)
+	}
+}

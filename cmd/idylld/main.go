@@ -1,0 +1,132 @@
+// Command idylld is the simulation-as-a-service daemon: it accepts
+// simulation jobs over HTTP (single cells or whole registry figures), runs
+// them on a bounded worker pool, and serves results from a content-addressed
+// cache — duplicate submissions dedupe onto one execution and repeat
+// queries answer in microseconds.
+//
+// Usage:
+//
+//	idylld                                  # listen on :8080
+//	idylld -addr 127.0.0.1:0 -addr-file a   # random port, written to file
+//	idylld -cache-dir /var/cache/idyll      # persist results across restarts
+//
+// SIGTERM/SIGINT drains gracefully: submissions answer 503, queued and
+// in-flight jobs finish (or are cancelled after -drain-timeout), the HTTP
+// listener closes, and the process exits 0. See docs/API.md for the API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"idyll/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers      = flag.Int("workers", 0, "concurrent jobs (0 = all cores)")
+		queueDepth   = flag.Int("queue", 64, "accepted-but-not-running job backlog before shedding with 429")
+		cacheEntries = flag.Int("cache-entries", 256, "in-memory result cache size")
+		cacheDir     = flag.String("cache-dir", "", "persist results to this directory (empty = memory only)")
+		ttl          = flag.Duration("ttl", 15*time.Minute, "how long finished job records stay queryable")
+		maxBody      = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits before cancelling in-flight jobs")
+		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "idylld: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	logf := log.New(os.Stderr, "idylld: ", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := service.NewServer(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cacheDir,
+		TTL:          *ttl,
+		MaxBodyBytes: *maxBody,
+		JobTimeout:   *jobTimeout,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idylld:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idylld:", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, bound); err != nil {
+			fmt.Fprintln(os.Stderr, "idylld:", err)
+			os.Exit(1)
+		}
+	}
+	logf("listening on %s (workers=%d queue=%d cache=%d dir=%q)",
+		bound, *workers, *queueDepth, *cacheEntries, *cacheDir)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		logf("received %v, draining", sig)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "idylld:", err)
+		os.Exit(1)
+	}
+
+	// Graceful drain: stop accepting jobs first (so in-flight HTTP requests
+	// observe 503 rather than connection resets), let work finish, then
+	// close the listener.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logf("drain: in-flight jobs cancelled: %v", err)
+	} else {
+		logf("drained cleanly")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logf("http shutdown: %v", err)
+	}
+	logf("exit")
+}
+
+// writeAddrFile writes the bound address atomically so a watcher (the CI
+// smoke test, a supervisor) never reads a half-written file.
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -15,40 +15,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"idyll/internal/config"
 	"idyll/internal/system"
 	"idyll/internal/workload"
 )
-
-func schemeByName(name string) (config.Scheme, error) {
-	switch strings.ToLower(name) {
-	case "baseline":
-		return config.Baseline(), nil
-	case "lazy", "only-lazy":
-		return config.OnlyLazy(), nil
-	case "inpte", "only-inpte", "directory":
-		return config.OnlyInPTE(), nil
-	case "idyll":
-		return config.IDYLL(), nil
-	case "inmem", "idyll-inmem":
-		return config.IDYLLInMem(), nil
-	case "zero", "zero-latency":
-		return config.ZeroLatency(), nil
-	case "first-touch":
-		return config.FirstTouchScheme(), nil
-	case "on-touch":
-		return config.OnTouchScheme(), nil
-	case "replication":
-		return config.ReplicationScheme(), nil
-	case "transfw":
-		return config.TransFWScheme(), nil
-	case "idyll+transfw":
-		return config.IDYLLTransFW(), nil
-	}
-	return config.Scheme{}, fmt.Errorf("unknown scheme %q", name)
-}
 
 func main() {
 	var (
@@ -79,7 +50,7 @@ func main() {
 
 	app, err := workload.App(*appName)
 	fatal(err)
-	scheme, err := schemeByName(*schemeName)
+	scheme, err := config.SchemeByName(*schemeName)
 	fatal(err)
 
 	m := config.Default()

@@ -132,7 +132,7 @@ func cmdRun(args []string) {
 	t := loadTrace(fs.Arg(0))
 	names := *schemeNames
 	if names == "all" {
-		names = strings.Join(allSchemeNames(), ",")
+		names = strings.Join(config.SchemeNames(), ",")
 	}
 	m := config.Default()
 	m.AccessCounterThreshold = *threshold // trace geometry is set per cell
@@ -147,7 +147,7 @@ func cmdRun(args []string) {
 	var specs []experiment.CellSpec
 	var schemes []config.Scheme
 	for _, name := range strings.Split(names, ",") {
-		scheme, err := schemeByName(strings.TrimSpace(name))
+		scheme, err := config.SchemeByName(name)
 		fatal(err)
 		schemes = append(schemes, scheme)
 		specs = append(specs, experiment.CellSpec{
@@ -170,42 +170,6 @@ func cmdRun(args []string) {
 				st.EngineCancelled, st.EnginePoolHits)
 		}
 	}
-}
-
-// schemeNameOrder mirrors cmd/idyllsim's scheme names, in stable sweep order.
-var schemeNameOrder = []string{
-	"baseline", "lazy", "inpte", "idyll", "inmem", "zero",
-	"first-touch", "on-touch", "replication", "transfw", "idyll+transfw",
-}
-
-func allSchemeNames() []string { return schemeNameOrder }
-
-func schemeByName(name string) (config.Scheme, error) {
-	switch name {
-	case "baseline":
-		return config.Baseline(), nil
-	case "lazy":
-		return config.OnlyLazy(), nil
-	case "inpte":
-		return config.OnlyInPTE(), nil
-	case "idyll":
-		return config.IDYLL(), nil
-	case "inmem":
-		return config.IDYLLInMem(), nil
-	case "zero":
-		return config.ZeroLatency(), nil
-	case "first-touch":
-		return config.FirstTouchScheme(), nil
-	case "on-touch":
-		return config.OnTouchScheme(), nil
-	case "replication":
-		return config.ReplicationScheme(), nil
-	case "transfw":
-		return config.TransFWScheme(), nil
-	case "idyll+transfw":
-		return config.IDYLLTransFW(), nil
-	}
-	return config.Scheme{}, fmt.Errorf("unknown scheme %q", name)
 }
 
 func fatal(err error) {

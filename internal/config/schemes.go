@@ -1,0 +1,60 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// schemeEntry binds one CLI/API scheme name (plus aliases) to its
+// constructor, in the stable sweep order every consumer shares.
+type schemeEntry struct {
+	name    string
+	aliases []string
+	build   func() Scheme
+}
+
+func schemeTable() []schemeEntry {
+	return []schemeEntry{
+		{"baseline", nil, Baseline},
+		{"lazy", []string{"only-lazy"}, OnlyLazy},
+		{"inpte", []string{"only-inpte", "directory"}, OnlyInPTE},
+		{"idyll", nil, IDYLL},
+		{"inmem", []string{"idyll-inmem"}, IDYLLInMem},
+		{"zero", []string{"zero-latency"}, ZeroLatency},
+		{"first-touch", nil, FirstTouchScheme},
+		{"on-touch", nil, OnTouchScheme},
+		{"replication", nil, ReplicationScheme},
+		{"transfw", nil, TransFWScheme},
+		{"idyll+transfw", nil, IDYLLTransFW},
+	}
+}
+
+// SchemeNames returns every canonical scheme name in stable sweep order —
+// the single source of truth for cmd/idyllsim, cmd/idylltrace "-scheme all",
+// and the idylld job-spec validator.
+func SchemeNames() []string {
+	tbl := schemeTable()
+	names := make([]string, len(tbl))
+	for i, e := range tbl {
+		names[i] = e.name
+	}
+	return names
+}
+
+// SchemeByName resolves a scheme name (case-insensitive, aliases accepted)
+// to its design point. The error for an unknown name lists every valid one.
+func SchemeByName(name string) (Scheme, error) {
+	want := strings.ToLower(strings.TrimSpace(name))
+	for _, e := range schemeTable() {
+		if e.name == want {
+			return e.build(), nil
+		}
+		for _, a := range e.aliases {
+			if a == want {
+				return e.build(), nil
+			}
+		}
+	}
+	return Scheme{}, fmt.Errorf("config: unknown scheme %q (known: %s)",
+		name, strings.Join(SchemeNames(), ", "))
+}

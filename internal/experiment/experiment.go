@@ -11,6 +11,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,6 +51,28 @@ type Options struct {
 	// completes, with the finished count, the pass total, and a
 	// "figure app/scheme" label. Calls are serialized, never concurrent.
 	Progress func(done, total int, cell string)
+
+	// ctx, when non-nil, cancels runs cooperatively: the event loop stops
+	// between batches and RunCells stops dispatching cells. Set through
+	// WithContext so the zero Options value stays valid.
+	ctx context.Context
+}
+
+// WithContext returns a copy of o whose runs are cancellable through ctx:
+// Run, RunParams, and RunCells all return ctx.Err() once it is done, and
+// in-flight cells stop at the next event-loop batch boundary. Cancellation
+// never perturbs results — a run either completes identically or errors.
+func (o Options) WithContext(ctx context.Context) Options {
+	o.ctx = ctx
+	return o
+}
+
+// Context returns the options' cancellation context (never nil).
+func (o Options) Context() context.Context {
+	if o.ctx == nil {
+		return context.Background()
+	}
+	return o.ctx
 }
 
 // TraceScaleFactor is the trace-length scaling between the paper's full
@@ -100,7 +123,7 @@ func RunParams(machine config.Machine, scheme config.Scheme, app workload.Params
 		return nil, err
 	}
 	trace := workload.Generate(app, m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
-	return s.Run(trace)
+	return s.RunCtx(o.Context(), trace)
 }
 
 // Table is a named grid of results: one row per series (scheme), one column

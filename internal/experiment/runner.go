@@ -78,7 +78,12 @@ func (o Options) jobs() int {
 // pool — queued cells are abandoned, in-flight ones finish — and the joined
 // error names every failed (figure, app, scheme). Each completed cell
 // reports through o.Progress (serialized, never concurrent).
+//
+// When o carries a context (see Options.WithContext), cancellation stops
+// dispatching queued cells and interrupts in-flight cells at their next
+// event-loop batch boundary; RunCells then returns the context's error.
 func RunCells(o Options, specs []CellSpec) ([]*stats.Sim, error) {
+	ctx := o.Context()
 	n := len(specs)
 	results := make([]*stats.Sim, n)
 	errs := make([]error, n)
@@ -104,6 +109,8 @@ func RunCells(o Options, specs []CellSpec) ([]*stats.Sim, error) {
 			select {
 			case work <- i:
 			case <-stop:
+				return
+			case <-ctx.Done():
 				return
 			}
 		}
@@ -136,6 +143,11 @@ func RunCells(o Options, specs []CellSpec) ([]*stats.Sim, error) {
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
+	// Cancellation can win the dispatch race before any cell starts (or
+	// after some finished cleanly); never report a partial pass as success.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return results, nil
 }
 
@@ -145,6 +157,9 @@ func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
 	co := o
 	if spec.Opts != nil {
 		co = *spec.Opts
+		if co.ctx == nil { // per-cell options inherit the pass's context
+			co.ctx = o.ctx
+		}
 	}
 	if spec.Trace != nil {
 		m := spec.Machine
@@ -157,7 +172,7 @@ func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
 		if err != nil {
 			return nil, err
 		}
-		return s.Run(spec.Trace)
+		return s.RunCtx(co.Context(), spec.Trace)
 	}
 	co.Seed = CellSeed(co.Seed, spec.Figure, spec.App)
 	if spec.Params != nil {

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
@@ -161,6 +163,78 @@ func TestRunCellsProgressSequence(t *testing.T) {
 		if d != i+1 {
 			t.Fatalf("progress sequence %v not monotonic", dones)
 		}
+	}
+}
+
+// A cancelled context must abort RunCells with context.Canceled — never a
+// partial result reported as success — and must not disturb results of runs
+// that complete before the cancellation.
+func TestRunCellsCancellation(t *testing.T) {
+	m := config.Default()
+	mkSpecs := func(n int) []CellSpec {
+		var specs []CellSpec
+		for i := 0; i < n; i++ {
+			specs = append(specs, CellSpec{Figure: "f", App: "PR", Machine: m, Scheme: config.Baseline()})
+		}
+		return specs
+	}
+
+	// Pre-cancelled: nothing runs, the error is context.Canceled.
+	o := quick()
+	o.Jobs = 2
+	o.CUsPerGPU, o.AccessesPerCU = 1, 20
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o = o.WithContext(ctx)
+	ran := 0
+	o.Progress = func(done, total int, cell string) { ran = done }
+	res, err := RunCells(o, mkSpecs(8))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("results returned alongside cancellation")
+	}
+	if ran > 2 {
+		t.Fatalf("%d cells completed after pre-cancellation, want ≤ jobs", ran)
+	}
+
+	// Cancel mid-flight (from a progress callback): RunCells stops early.
+	o2 := quick()
+	o2.Jobs = 1
+	o2.CUsPerGPU, o2.AccessesPerCU = 1, 20
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	o2 = o2.WithContext(ctx2)
+	completed := 0
+	o2.Progress = func(done, total int, cell string) {
+		completed = done
+		if done == 2 {
+			cancel2()
+		}
+	}
+	if _, err := RunCells(o2, mkSpecs(10)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight err = %v, want context.Canceled", err)
+	}
+	if completed > 3 {
+		t.Fatalf("%d cells completed after mid-flight cancel, want ≤3", completed)
+	}
+
+	// An un-cancelled context leaves results identical to no context at all:
+	// cancellation support must never perturb simulation output.
+	plain := quick()
+	plain.CUsPerGPU, plain.AccessesPerCU = 2, 50
+	withCtx := plain.WithContext(context.Background())
+	a, err := RunCells(plain, mkSpecs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCells(withCtx, mkSpecs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].ExecCycles != b[0].ExecCycles || a[0].Accesses != b[0].Accesses {
+		t.Fatal("context plumbing changed simulation results")
 	}
 }
 

@@ -1,0 +1,165 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// ResultCache is the content-addressed result store: an in-memory LRU over
+// result payloads keyed by spec hash, optionally backed by an on-disk store
+// (one file per hash, written atomically) that survives restarts. Safe for
+// concurrent use.
+type ResultCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	max     int
+	dir     string // "" = memory only
+
+	hits, misses, diskHits uint64
+}
+
+type cacheEntry struct {
+	hash string
+	raw  []byte
+}
+
+// hashPattern guards disk paths: a key must be a hex SHA-256 before it may
+// name a file.
+var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// NewResultCache returns a cache holding up to maxEntries results in memory
+// (minimum 1), spilling to dir when dir is non-empty (created if missing).
+func NewResultCache(maxEntries int, dir string) (*ResultCache, error) {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("service: cache dir: %w", err)
+		}
+	}
+	return &ResultCache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		max:     maxEntries,
+		dir:     dir,
+	}, nil
+}
+
+// Get returns the cached result bytes for hash, consulting memory first and
+// the disk store second (a disk hit repopulates memory). The returned slice
+// must not be modified.
+func (c *ResultCache) Get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	if el, ok := c.entries[hash]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		raw := el.Value.(*cacheEntry).raw
+		c.mu.Unlock()
+		return raw, true
+	}
+	c.mu.Unlock()
+
+	if raw, ok := c.diskGet(hash); ok {
+		c.mu.Lock()
+		c.hits++
+		c.diskHits++
+		c.putLocked(hash, raw)
+		c.mu.Unlock()
+		return raw, true
+	}
+
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// Put stores a result under hash in memory and, when configured, on disk.
+func (c *ResultCache) Put(hash string, raw []byte) error {
+	c.mu.Lock()
+	c.putLocked(hash, raw)
+	c.mu.Unlock()
+	return c.diskPut(hash, raw)
+}
+
+func (c *ResultCache) putLocked(hash string, raw []byte) {
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*cacheEntry).raw = raw
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, raw: raw})
+	for len(c.entries) > c.max {
+		el := c.order.Back()
+		c.order.Remove(el)
+		delete(c.entries, el.Value.(*cacheEntry).hash)
+	}
+}
+
+// Len reports how many results are resident in memory.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats reports cumulative hit/miss counters (disk hits count as hits too).
+func (c *ResultCache) Stats() (hits, misses, diskHits uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.diskHits
+}
+
+func (c *ResultCache) path(hash string) (string, bool) {
+	if c.dir == "" || !hashPattern.MatchString(hash) {
+		return "", false
+	}
+	return filepath.Join(c.dir, hash+".json"), true
+}
+
+func (c *ResultCache) diskGet(hash string) ([]byte, bool) {
+	path, ok := c.path(hash)
+	if !ok {
+		return nil, false
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	return raw, true
+}
+
+// diskPut writes atomically (temp file + rename) so a crashed daemon never
+// leaves a torn result a future daemon would serve.
+func (c *ResultCache) diskPut(hash string, raw []byte) error {
+	path, ok := c.path(hash)
+	if !ok {
+		return nil
+	}
+	tmp, err := os.CreateTemp(c.dir, "."+hash+".tmp*")
+	if err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("service: cache sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("service: cache close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("service: cache rename: %w", err)
+	}
+	return nil
+}

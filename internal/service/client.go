@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"idyll/internal/experiment"
+)
+
+// Client is the typed Go client for an idylld daemon; cmd/idyllctl is a
+// thin shell around it.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). The underlying http.Client has no overall
+// timeout — Wait streams events for a job's whole lifetime — so bound calls
+// with a context instead.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// apiErr decodes a non-2xx response into an error carrying the server's
+// message and status code.
+func apiErr(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e apiError
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("idylld: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("idylld: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a job spec. The returned status reports whether the job was
+// freshly queued, attached to an in-flight duplicate (Deduped), or answered
+// directly from the result cache (Cached, Status "done", Result set).
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/jobs", bytes.NewReader(raw))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, apiErr(resp)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches a job's current state.
+func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
+	var st JobStatus
+	if err := c.getJSON(ctx, "/v1/jobs/"+url.PathEscape(id), &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait blocks until the job reaches a terminal state and returns its final
+// status. Progress is streamed over SSE and forwarded to onEvent (which may
+// be nil); if the event stream drops, Wait falls back to polling, so it
+// survives daemon-side stream limits and proxies that buffer SSE.
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
+	if err := c.streamEvents(ctx, id, onEvent); err != nil && ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	// Terminal state reached (or the stream broke): poll until terminal.
+	delay := 50 * time.Millisecond
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.Status {
+		case StatusDone, StatusFailed, StatusCancelled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(delay):
+		}
+		if delay < time.Second {
+			delay *= 2
+		}
+	}
+}
+
+// streamEvents consumes the SSE stream until it ends (terminal event or
+// server close). A nil return means the stream ended normally.
+func (c *Client) streamEvents(ctx context.Context, id string, onEvent func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			continue
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+	}
+	return sc.Err()
+}
+
+// SubmitAndWait submits a spec and waits for its result, combining Submit's
+// cache fast path with Wait.
+func (c *Client) SubmitAndWait(ctx context.Context, spec JobSpec, onEvent func(Event)) (*JobStatus, error) {
+	st, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	if st.Status == StatusDone || st.Status == StatusFailed || st.Status == StatusCancelled {
+		return st, nil
+	}
+	return c.Wait(ctx, st.ID, onEvent)
+}
+
+// Figure fetches a figure synchronously via GET /v1/figures/{name} and
+// parses the resulting table.
+func (c *Client) Figure(ctx context.Context, name string, o experiment.Options) (*experiment.Table, error) {
+	q := url.Values{}
+	if o.CUsPerGPU > 0 {
+		q.Set("cus", fmt.Sprint(o.CUsPerGPU))
+	}
+	if o.AccessesPerCU > 0 {
+		q.Set("accesses", fmt.Sprint(o.AccessesPerCU))
+	}
+	if o.Seed > 0 {
+		q.Set("seed", fmt.Sprint(o.Seed))
+	}
+	if o.CounterThreshold > 0 {
+		q.Set("threshold", fmt.Sprint(o.CounterThreshold))
+	}
+	if len(o.Apps) > 0 {
+		q.Set("apps", strings.Join(o.Apps, ","))
+	}
+	path := "/v1/figures/" + url.PathEscape(name)
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return experiment.ParseTableJSON(string(raw))
+}
+
+// Metrics fetches and parses GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiErr(resp)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMetrics(string(raw))
+}
+
+// Health checks GET /healthz.
+func (c *Client) Health(ctx context.Context) error {
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return err
+	}
+	if out.Status != "ok" {
+		return fmt.Errorf("idylld: health status %q", out.Status)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"idyll/internal/sim"
+	"idyll/internal/stats"
+)
+
+// Metrics aggregates the daemon's operational counters, exposed as plain
+// text on GET /metrics (one "name value" pair per line, prometheus-style
+// names without the type annotations). Safe for concurrent use.
+type Metrics struct {
+	mu sync.Mutex
+
+	counters map[string]uint64
+	// latency holds completed-job wall time in microseconds; the power-of-
+	// two bucketing of stats.Histogram is plenty for p50/p99 of jobs whose
+	// durations span micro- (cache hit) to many seconds (figure run).
+	latency *stats.Histogram
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: make(map[string]uint64),
+		latency:  stats.NewHistogram(),
+	}
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta uint64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Set overwrites the named counter (used to mirror cache statistics).
+func (m *Metrics) Set(name string, v uint64) {
+	m.mu.Lock()
+	m.counters[name] = v
+	m.mu.Unlock()
+}
+
+// Counter reads one counter's current value.
+func (m *Metrics) Counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.counters[name]
+}
+
+// ObserveJobLatency records one completed job's wall time.
+func (m *Metrics) ObserveJobLatency(d time.Duration) {
+	m.mu.Lock()
+	m.latency.Add(sim.VTime(d.Microseconds()))
+	m.mu.Unlock()
+}
+
+// Render emits every counter plus latency percentiles, sorted by name so
+// output is stable for tests and diffing. gauges carries point-in-time
+// values (queue depth, in-flight) the server samples at render time.
+func (m *Metrics) Render(gauges map[string]int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lines := make([]string, 0, len(m.counters)+len(gauges)+4)
+	for name, v := range m.counters {
+		lines = append(lines, fmt.Sprintf("idylld_%s %d", name, v))
+	}
+	for name, v := range gauges {
+		lines = append(lines, fmt.Sprintf("idylld_%s %d", name, v))
+	}
+	lines = append(lines,
+		fmt.Sprintf("idylld_job_latency_count %d", m.latency.Count()),
+		fmt.Sprintf("idylld_job_latency_mean_us %.0f", m.latency.Mean()),
+		fmt.Sprintf("idylld_job_latency_p50_us %d", m.latency.Percentile(50)),
+		fmt.Sprintf("idylld_job_latency_p99_us %d", m.latency.Percentile(99)),
+	)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// ParseMetrics decodes a Render payload back into a name→value map — the
+// client-side half, used by idyllctl and the CI smoke test to assert on
+// cache-hit counters.
+func ParseMetrics(text string) (map[string]float64, error) {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if line == "" {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			return nil, fmt.Errorf("service: bad metrics line %q", line)
+		}
+		var v float64
+		if _, err := fmt.Sscanf(value, "%g", &v); err != nil {
+			return nil, fmt.Errorf("service: bad metrics value %q: %w", line, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// tinySpec is a real cell simulation small enough for unit tests.
+func tinySpec() JobSpec {
+	return JobSpec{
+		Kind: "cell", App: "PR", Scheme: "idyll",
+		Options: json.RawMessage(`{"cus_per_gpu":2,"accesses_per_cu":50,"counter_threshold":1}`),
+	}
+}
+
+// TestRunSpecDeterministic runs a real tiny cell twice and demands
+// byte-identical payloads — the property the content-addressed cache
+// depends on.
+func TestRunSpecDeterministic(t *testing.T) {
+	canon := mustCanon(t, tinySpec())
+	ctx := context.Background()
+	a, err := RunSpec(ctx, canon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSpec(ctx, canon, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("RunSpec not deterministic:\n a=%s\n b=%s", a, b)
+	}
+	var res CellResult
+	if err := json.Unmarshal(a, &res); err != nil {
+		t.Fatalf("result not a CellResult: %v\n%s", err, a)
+	}
+	if res.App != "PR" || res.Scheme != "idyll" || res.ExecCycles <= 0 || res.Accesses == 0 {
+		t.Errorf("implausible cell result: %+v", res)
+	}
+}
+
+// TestRunSpecCancellation proves a real simulation stops between event-loop
+// batches when its context is cancelled.
+func TestRunSpecCancellation(t *testing.T) {
+	canon := mustCanon(t, JobSpec{
+		Kind: "cell", App: "PR", Scheme: "idyll",
+		Options: json.RawMessage(`{"cus_per_gpu":8,"accesses_per_cu":2000}`),
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the run starts: must not complete
+	if _, err := RunSpec(ctx, canon, nil); err == nil {
+		t.Fatal("RunSpec completed despite a cancelled context")
+	}
+}
+
+// TestServiceEndToEndRealRunner exercises the full daemon path with the
+// default runner: submit a tiny real cell, wait, resubmit, and require a
+// byte-identical cache hit.
+func TestServiceEndToEndRealRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulation in -short mode")
+	}
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	first, err := c.SubmitAndWait(ctx, tinySpec(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Status != StatusDone {
+		t.Fatalf("first run = %+v", first)
+	}
+	second, err := c.Submit(ctx, tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Errorf("resubmission missed the cache: %+v", second)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Errorf("cached result differs from computed result")
+	}
+}

@@ -1,0 +1,500 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"idyll/internal/experiment"
+)
+
+// newTestServer builds a server with cfg, serves it over httptest, and
+// returns a typed client. Cleanup drains and closes everything.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	if cfg.TTL == 0 {
+		cfg.TTL = time.Minute
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Drain(ctx)
+		hs.Close()
+	})
+	return srv, NewClient(hs.URL)
+}
+
+// stubRunner returns a RunFunc producing deterministic bytes per spec after
+// emitting n progress events.
+func stubRunner(n int) RunFunc {
+	return func(ctx context.Context, spec CanonicalSpec,
+		progress func(done, total int, cell string)) ([]byte, error) {
+		for i := 1; i <= n; i++ {
+			progress(i, n, fmt.Sprintf("%s %s/%s", spec.Figure, spec.App, spec.Scheme))
+		}
+		return []byte(fmt.Sprintf(`{"app":%q,"scheme":%q,"seed":%d}`,
+			spec.App, spec.Scheme, spec.Options.Seed)), nil
+	}
+}
+
+func cellSpec(seed uint64) JobSpec {
+	return JobSpec{
+		Kind: "cell", App: "PR", Scheme: "idyll",
+		Options: json.RawMessage(fmt.Sprintf(
+			`{"cus_per_gpu":2,"accesses_per_cu":50,"seed":%d,"counter_threshold":1}`, seed)),
+	}
+}
+
+func TestSubmitHappyPathAndCacheHit(t *testing.T) {
+	var runs atomic.Int64
+	_, c := newTestServer(t, Config{
+		Workers: 2,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			runs.Add(1)
+			return stubRunner(3)(ctx, spec, p)
+		},
+	})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, cellSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Hash == "" {
+		t.Fatalf("submission missing id/hash: %+v", st)
+	}
+	final, err := c.Wait(ctx, st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone || len(final.Result) == 0 {
+		t.Fatalf("final = %+v", final)
+	}
+
+	// Identical resubmission: answered from cache without running, result
+	// byte-identical, marked cached.
+	again, err := c.Submit(ctx, cellSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached || again.Status != StatusDone {
+		t.Fatalf("resubmission not cached: %+v", again)
+	}
+	if !bytes.Equal(again.Result, final.Result) {
+		t.Errorf("cache hit differs:\n first=%s\nsecond=%s", final.Result, again.Result)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner ran %d times, want 1", got)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["idylld_cache_hits"] < 1 {
+		t.Errorf("cache_hits = %v, want >= 1", m["idylld_cache_hits"])
+	}
+	if m["idylld_jobs_completed"] != 1 {
+		t.Errorf("jobs_completed = %v, want 1", m["idylld_jobs_completed"])
+	}
+}
+
+func TestSubmitBadSpecs(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: stubRunner(0)})
+	hc := c.hc
+	post := func(body string) *http.Response {
+		resp, err := hc.Post(c.base+"/v1/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	for _, body := range []string{
+		`{`,                          // malformed JSON
+		`{"kind":"bogus"}`,           // unknown kind
+		`{"kind":"cell","app":"PR"}`, // missing scheme
+		`{"kind":"cell","app":"PR","scheme":"idyll","options":{"cus_per_gpu":-1}}`,
+		`{"kind":"figure","figure":"fig99"}`,
+		`{"kind":"cell","app":"PR","scheme":"idyll","surprise":1}`, // unknown field
+	} {
+		if resp := post(body); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s → %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if resp := post(strings.Repeat("x", 2<<20)); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body → %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestQueueFullSheds429(t *testing.T) {
+	release := make(chan struct{})
+	_, c := newTestServer(t, Config{
+		Workers:    1,
+		QueueDepth: 1,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			return []byte(`{}`), nil
+		},
+	})
+	defer close(release)
+	ctx := context.Background()
+
+	// Distinct specs so dedupe cannot absorb them: one runs, one queues.
+	if _, err := c.Submit(ctx, cellSpec(100)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { // first job picked up → queue empty again
+		m, err := c.Metrics(ctx)
+		return err == nil && m["idylld_jobs_inflight"] == 1
+	})
+	if _, err := c.Submit(ctx, cellSpec(101)); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, _ := json.Marshal(cellSpec(102))
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submission → %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+}
+
+// TestSingleflightDedupe is the tentpole concurrency property: 50
+// concurrent identical submissions share one execution and one job ID.
+// Run under -race this also proves the submit path is race-clean.
+func TestSingleflightDedupe(t *testing.T) {
+	var runs atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	_, c := newTestServer(t, Config{
+		Workers: 4,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			runs.Add(1)
+			once.Do(func() { close(started) })
+			<-release
+			return []byte(`{"v":1}`), nil
+		},
+	})
+	ctx := context.Background()
+
+	// Prime one execution so the in-flight entry exists, then race 50 more.
+	first, err := c.Submit(ctx, cellSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	const n = 50
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, cellSpec(7))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ids[i] = st.ID
+			if !st.Deduped {
+				errs[i] = fmt.Errorf("submission %d not marked deduped: %+v", i, st)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(release)
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, id := range ids {
+		if id != first.ID {
+			t.Fatalf("submission %d got job %s, want %s", i, id, first.ID)
+		}
+	}
+
+	if _, err := c.Wait(ctx, first.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Errorf("runner executed %d times for 51 identical submissions, want 1", got)
+	}
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["idylld_jobs_deduped"] != n {
+		t.Errorf("jobs_deduped = %v, want %d", m["idylld_jobs_deduped"], n)
+	}
+}
+
+func TestSSEEventOrdering(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, Runner: stubRunner(3)})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, cellSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if _, err := c.Wait(ctx, st.ID, func(ev Event) { events = append(events, ev) }); err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	for i, ev := range events {
+		if ev.Seq != i {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		types = append(types, ev.Type)
+	}
+	want := "queued,started,progress,progress,progress,done"
+	if got := strings.Join(types, ","); got != want {
+		t.Errorf("event order %q, want %q", got, want)
+	}
+	// progress payloads carry monotonically increasing done counts.
+	last := 0
+	for _, ev := range events {
+		if ev.Type != "progress" {
+			continue
+		}
+		if ev.Done <= last || ev.Total != 3 {
+			t.Errorf("progress event out of order: %+v", ev)
+		}
+		last = ev.Done
+	}
+}
+
+func TestJobFailureAndPanicIsolation(t *testing.T) {
+	_, c := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			if spec.Options.Seed == 666 {
+				panic("simulated cell panic")
+			}
+			return nil, fmt.Errorf("boom")
+		},
+	})
+	ctx := context.Background()
+
+	st, err := c.SubmitAndWait(ctx, cellSpec(665), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "boom") {
+		t.Errorf("failed job = %+v", st)
+	}
+
+	// A panicking job fails that job; the daemon keeps serving.
+	st, err = c.SubmitAndWait(ctx, cellSpec(666), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusFailed || !strings.Contains(st.Error, "panicked") {
+		t.Errorf("panicked job = %+v", st)
+	}
+	if err := c.Health(ctx); err != nil {
+		t.Errorf("daemon unhealthy after panic: %v", err)
+	}
+	m, _ := c.Metrics(ctx)
+	if m["idylld_job_panics"] != 1 {
+		t.Errorf("job_panics = %v, want 1", m["idylld_job_panics"])
+	}
+	if m["idylld_jobs_failed"] != 2 {
+		t.Errorf("jobs_failed = %v, want 2", m["idylld_jobs_failed"])
+	}
+}
+
+func TestJobTimeoutCancels(t *testing.T) {
+	_, c := newTestServer(t, Config{
+		Workers:    1,
+		JobTimeout: 50 * time.Millisecond,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	st, err := c.SubmitAndWait(context.Background(), cellSpec(11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != StatusCancelled {
+		t.Errorf("timed-out job status %q, want cancelled", st.Status)
+	}
+}
+
+func TestGracefulDrain(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{})
+	srv, c := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			close(started)
+			select {
+			case <-release:
+				return []byte(`{"ok":true}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, cellSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- srv.Drain(dctx)
+	}()
+	waitFor(t, srv.Draining)
+
+	// New submissions are refused with 503 while draining.
+	raw, _ := json.Marshal(cellSpec(22))
+	resp, err := c.hc.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining → %d, want 503", resp.StatusCode)
+	}
+
+	// The in-flight job finishes and drain completes cleanly.
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Errorf("in-flight job after drain = %q, want done", final.Status)
+	}
+}
+
+func TestDrainDeadlineCancelsInFlight(t *testing.T) {
+	srv, c := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			<-ctx.Done() // never finishes voluntarily
+			return nil, ctx.Err()
+		},
+	})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, cellSpec(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(dctx); err == nil {
+		t.Fatal("Drain returned nil despite a stuck job")
+	}
+	final, err := c.Status(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusCancelled {
+		t.Errorf("stuck job after forced drain = %q, want cancelled", final.Status)
+	}
+}
+
+func TestFigureEndpoint(t *testing.T) {
+	table := `{"title":"Figure 11","columns":["PR","Ave."],` +
+		`"series":[{"label":"IDYLL","values":[1.5,1.5]}]}`
+	var runs atomic.Int64
+	_, c := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, spec CanonicalSpec,
+			p func(int, int, string)) ([]byte, error) {
+			if spec.Kind != KindFigure || spec.Figure != "fig11" {
+				return nil, fmt.Errorf("unexpected spec %+v", spec)
+			}
+			runs.Add(1)
+			return []byte(table), nil
+		},
+	})
+	ctx := context.Background()
+	tab, err := c.Figure(ctx, "fig11", quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Title != "Figure 11" || len(tab.Rows) != 1 {
+		t.Errorf("parsed table = %+v", tab)
+	}
+	// Same options → served from cache, no second run.
+	if _, err := c.Figure(ctx, "fig11", quickOpts()); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Errorf("figure ran %d times, want 1 (second fetch must hit the cache)", runs.Load())
+	}
+	// Unknown figure name → 400 naming valid IDs (shared resolver).
+	if _, err := c.Figure(ctx, "fig99", quickOpts()); err == nil ||
+		!strings.Contains(err.Error(), "unknown id") {
+		t.Errorf("unknown figure error = %v", err)
+	}
+}
+
+func TestStatusNotFound(t *testing.T) {
+	_, c := newTestServer(t, Config{Runner: stubRunner(0)})
+	if _, err := c.Status(context.Background(), "j-999999"); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("missing job error = %v", err)
+	}
+}
+
+func quickOpts() experiment.Options {
+	return experiment.Options{CUsPerGPU: 2, AccessesPerCU: 50}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}

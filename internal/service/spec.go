@@ -1,0 +1,217 @@
+// Package service is the simulation-as-a-service layer: an HTTP daemon
+// (cmd/idylld) that accepts simulation jobs — single (app, scheme) cells or
+// whole registry figures — runs them on a bounded worker pool layered on the
+// experiment runner, and serves results.
+//
+// Because every job is fully deterministic given its spec (the determinism
+// guarantee of internal/experiment), results are content-addressed: a
+// canonical encoding of the spec is hashed, duplicate submissions dedupe
+// onto one in-flight execution (singleflight), and repeat queries are
+// answered byte-identically from an in-memory LRU backed by an optional
+// on-disk store.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"idyll/internal/config"
+	"idyll/internal/experiment"
+	"idyll/internal/workload"
+)
+
+// Job kinds.
+const (
+	KindCell   = "cell"   // one (app, scheme) simulation via the cell runner
+	KindFigure = "figure" // a full registry entry (fig11, table3, ...)
+)
+
+// JobSpec is the wire form of a job submission (POST /v1/jobs). Fields the
+// daemon does not understand are rejected, not ignored: an unknown knob must
+// never alias a cached result computed without it.
+type JobSpec struct {
+	// Kind selects what runs: "cell" or "figure".
+	Kind string `json:"kind"`
+	// Figure is the registry ID for figure jobs ("fig11"). For cell jobs it
+	// is an optional label that salts the cell seed (default "cell"), so a
+	// service cell with figure "fig11" draws the exact trace the suite's
+	// fig11 cells draw (experiment.CellSeed).
+	Figure string `json:"figure,omitempty"`
+	// App is the application abbreviation (cell jobs; see Table 3).
+	App string `json:"app,omitempty"`
+	// Scheme is the scheme name (cell jobs; config.SchemeNames).
+	Scheme string `json:"scheme,omitempty"`
+	// Options is the experiment scale, in experiment.Options canonical-JSON
+	// form (cus_per_gpu, accesses_per_cu, seed, apps, counter_threshold).
+	// Omitted fields fill from experiment.DefaultOptions.
+	Options json.RawMessage `json:"options,omitempty"`
+	// TimeoutMS optionally caps the job's run time. It is an execution
+	// knob, not result identity: it is excluded from the content hash.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// CanonicalSpec is a validated, normalized job spec: names resolved to
+// their canonical spellings, options default-filled, ready to hash and run.
+type CanonicalSpec struct {
+	Kind    string
+	Figure  string
+	App     string
+	Scheme  string
+	Options experiment.Options
+	Timeout time.Duration // 0 = server default; not part of the hash
+}
+
+// Canonicalize validates s against the same resolvers the CLIs use —
+// experiment.Find for figure IDs, config.SchemeByName for schemes,
+// workload.App for applications — and returns its canonical form. Errors
+// name the valid choices.
+func (s JobSpec) Canonicalize() (CanonicalSpec, error) {
+	c := CanonicalSpec{Kind: strings.ToLower(strings.TrimSpace(s.Kind))}
+	if s.TimeoutMS < 0 {
+		return CanonicalSpec{}, fmt.Errorf("service: timeout_ms = %d is negative", s.TimeoutMS)
+	}
+	c.Timeout = time.Duration(s.TimeoutMS) * time.Millisecond
+
+	if len(s.Options) > 0 {
+		o, err := experiment.OptionsFromCanonicalJSON(s.Options)
+		if err != nil {
+			return CanonicalSpec{}, fmt.Errorf("service: %w", err)
+		}
+		c.Options = o
+	} else {
+		o, err := experiment.Options{}.Canonical()
+		if err != nil {
+			return CanonicalSpec{}, err
+		}
+		c.Options = o
+	}
+
+	switch c.Kind {
+	case KindCell:
+		if s.App == "" || s.Scheme == "" {
+			return CanonicalSpec{}, fmt.Errorf(`service: cell jobs need "app" and "scheme"`)
+		}
+		app, err := workload.App(s.App)
+		if err != nil {
+			return CanonicalSpec{}, fmt.Errorf("service: %w", err)
+		}
+		c.App = app.Abbr
+		c.Scheme, err = canonicalSchemeName(s.Scheme)
+		if err != nil {
+			return CanonicalSpec{}, fmt.Errorf("service: %w", err)
+		}
+		c.Figure = strings.ToLower(strings.TrimSpace(s.Figure))
+		if c.Figure == "" {
+			c.Figure = "cell"
+		}
+	case KindFigure:
+		if s.Figure == "" {
+			return CanonicalSpec{}, fmt.Errorf(`service: figure jobs need "figure"`)
+		}
+		if s.App != "" || s.Scheme != "" {
+			return CanonicalSpec{}, fmt.Errorf(`service: "app"/"scheme" only apply to cell jobs`)
+		}
+		e, err := experiment.Find(s.Figure)
+		if err != nil {
+			return CanonicalSpec{}, fmt.Errorf("service: %w", err)
+		}
+		c.Figure = e.ID
+	case "":
+		return CanonicalSpec{}, fmt.Errorf(`service: missing "kind" (valid: %s, %s)`, KindCell, KindFigure)
+	default:
+		return CanonicalSpec{}, fmt.Errorf("service: unknown kind %q (valid: %s, %s)",
+			s.Kind, KindCell, KindFigure)
+	}
+	return c, nil
+}
+
+// canonicalSchemeName maps any accepted scheme spelling (alias, mixed case)
+// to its canonical name from config.SchemeNames, so "Only-Lazy", "lazy",
+// and "LAZY" all hash to one content address.
+func canonicalSchemeName(name string) (string, error) {
+	want, err := config.SchemeByName(name)
+	if err != nil {
+		return "", err
+	}
+	for _, n := range config.SchemeNames() {
+		if s, err := config.SchemeByName(n); err == nil && s.Name == want.Name {
+			return n, nil
+		}
+	}
+	return strings.ToLower(strings.TrimSpace(name)), nil
+}
+
+// canonicalJSON is the hashed encoding: fixed field order, canonical names,
+// default-filled options, execution knobs (timeout) excluded.
+func (c CanonicalSpec) canonicalJSON() ([]byte, error) {
+	opts, err := c.Options.CanonicalJSON()
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString(`{"kind":`)
+	b.Write(mustJSON(c.Kind))
+	b.WriteString(`,"figure":`)
+	b.Write(mustJSON(c.Figure))
+	if c.Kind == KindCell {
+		b.WriteString(`,"app":`)
+		b.Write(mustJSON(c.App))
+		b.WriteString(`,"scheme":`)
+		b.Write(mustJSON(c.Scheme))
+	}
+	b.WriteString(`,"options":`)
+	b.Write(opts)
+	b.WriteString(`}`)
+	return []byte(b.String()), nil
+}
+
+func mustJSON(v any) []byte {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // strings and numbers cannot fail to marshal
+	}
+	return raw
+}
+
+// Hash returns the spec's content address: hex SHA-256 of the canonical
+// encoding. Two submissions hash equal iff the determinism guarantee says
+// their results are byte-identical.
+func (c CanonicalSpec) Hash() (string, error) {
+	raw, err := c.canonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Wire returns the canonical spec in JobSpec wire form (for status JSON).
+func (c CanonicalSpec) Wire() (JobSpec, error) {
+	opts, err := c.Options.CanonicalJSON()
+	if err != nil {
+		return JobSpec{}, err
+	}
+	return JobSpec{
+		Kind:      c.Kind,
+		Figure:    c.Figure,
+		App:       c.App,
+		Scheme:    c.Scheme,
+		Options:   opts,
+		TimeoutMS: c.Timeout.Milliseconds(),
+	}, nil
+}
+
+// DecodeSpec parses a JobSpec from raw JSON, rejecting unknown fields.
+func DecodeSpec(raw []byte) (JobSpec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var s JobSpec
+	if err := dec.Decode(&s); err != nil {
+		return JobSpec{}, fmt.Errorf("service: parsing job spec: %w", err)
+	}
+	return s, nil
+}

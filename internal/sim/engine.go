@@ -423,3 +423,21 @@ func (e *Engine) RunUntil(limit VTime) VTime {
 func (e *Engine) Step() bool {
 	return e.fireNext(-1)
 }
+
+// RunBatch executes up to n events and reports whether live events remain.
+// Events fire in exactly the order Run would fire them — batch boundaries
+// cannot reorder anything — so callers can interleave work (cancellation
+// checks, progress) between batches without perturbing determinism.
+func (e *Engine) RunBatch(n int) bool {
+	if e.running {
+		panic("sim: re-entrant Run")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for i := 0; i < n; i++ {
+		if !e.fireNext(-1) {
+			return false
+		}
+	}
+	return e.Pending() > 0
+}

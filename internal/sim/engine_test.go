@@ -124,6 +124,73 @@ func TestEngineStep(t *testing.T) {
 	}
 }
 
+// RunBatch must fire events in exactly the order Run would — batching is a
+// cancellation point, never a semantic change.
+func TestEngineRunBatchMatchesRun(t *testing.T) {
+	build := func() (*Engine, *[]VTime) {
+		e := NewEngine()
+		order := &[]VTime{}
+		var chain func()
+		chain = func() {
+			*order = append(*order, e.Now())
+			if len(*order) < 20 {
+				e.Schedule(VTime(len(*order)%3), chain)
+			}
+		}
+		for _, d := range []VTime{30, 10, 20, 10, 0} {
+			e.Schedule(d, chain)
+		}
+		return e, order
+	}
+
+	ref, refOrder := build()
+	ref.Run()
+
+	for _, batch := range []int{1, 3, 7, 1000} {
+		e, order := build()
+		steps := 0
+		for e.RunBatch(batch) {
+			steps++
+			if steps > 10000 {
+				t.Fatalf("RunBatch(%d) did not terminate", batch)
+			}
+		}
+		if len(*order) != len(*refOrder) {
+			t.Fatalf("RunBatch(%d) fired %d events, Run fired %d",
+				batch, len(*order), len(*refOrder))
+		}
+		for i := range *refOrder {
+			if (*order)[i] != (*refOrder)[i] {
+				t.Fatalf("RunBatch(%d) event %d at t=%d, Run had t=%d",
+					batch, i, (*order)[i], (*refOrder)[i])
+			}
+		}
+		if e.Now() != ref.Now() || e.Fired() != ref.Fired() {
+			t.Fatalf("RunBatch(%d) end state (now=%d fired=%d) != Run (now=%d fired=%d)",
+				batch, e.Now(), e.Fired(), ref.Now(), ref.Fired())
+		}
+	}
+}
+
+func TestEngineRunBatchReportsPending(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(VTime(i), func() {})
+	}
+	if !e.RunBatch(3) {
+		t.Fatal("RunBatch(3) with 2 events left reported drained")
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	if e.RunBatch(3) {
+		t.Fatal("RunBatch reported more work after draining the queue")
+	}
+	if e.RunBatch(3) {
+		t.Fatal("RunBatch on an empty queue reported work")
+	}
+}
+
 func TestEnginePanicsOnNegativeDelay(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -5,6 +5,7 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -91,6 +92,22 @@ func MustNew(machine config.Machine, scheme config.Scheme) *System {
 // panics if the simulation deadlocks (a blocked CU that never retires would
 // otherwise silently truncate the run).
 func (s *System) Run(trace *workload.Trace) (*stats.Sim, error) {
+	return s.RunCtx(context.Background(), trace)
+}
+
+// runBatchEvents is how many events RunCtx fires between cancellation
+// checks. Large enough that the check is amortized to noise, small enough
+// that a cancelled run stops within milliseconds.
+const runBatchEvents = 8192
+
+// RunCtx is Run with cooperative cancellation: the event loop executes in
+// batches of runBatchEvents and stops between batches once ctx is done,
+// returning ctx.Err(). Cancellation cannot perturb results — a run either
+// completes with output identical to Run's, or returns an error.
+func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if trace.NumGPUs != s.Machine.NumGPUs {
 		return nil, fmt.Errorf("system: trace has %d GPUs, machine has %d",
 			trace.NumGPUs, s.Machine.NumGPUs)
@@ -116,7 +133,14 @@ func (s *System) Run(trace *workload.Trace) (*stats.Sim, error) {
 			}
 		})
 	}
-	s.Engine.Run()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for s.Engine.RunBatch(runBatchEvents) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if remaining != 0 {
 		return nil, fmt.Errorf("system: deadlock — %d GPUs never finished (events drained at %d)",
 			remaining, s.Engine.Now())

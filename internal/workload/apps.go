@@ -1,6 +1,9 @@
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Apps returns the nine applications of Table 3 with generator parameters
 // calibrated to reproduce the paper's regimes:
@@ -90,19 +93,22 @@ func Apps() []Params {
 	}
 }
 
-// App returns the Table 3 application with the given abbreviation.
+// App returns the Table 3 (or §7.6 DNN) application with the given
+// abbreviation, matched case-insensitively; Params.Abbr carries the
+// canonical spelling. The error lists every known abbreviation.
 func App(abbr string) (Params, error) {
-	for _, p := range Apps() {
-		if p.Abbr == abbr {
+	all := append(Apps(), DNNApps()...)
+	for _, p := range all {
+		if strings.EqualFold(p.Abbr, abbr) {
 			return p, nil
 		}
 	}
-	for _, p := range DNNApps() {
-		if p.Abbr == abbr {
-			return p, nil
-		}
+	known := make([]string, len(all))
+	for i, p := range all {
+		known[i] = p.Abbr
 	}
-	return Params{}, fmt.Errorf("workload: unknown application %q", abbr)
+	return Params{}, fmt.Errorf("workload: unknown application %q (known: %s)",
+		abbr, strings.Join(known, ", "))
 }
 
 // AppAbbrs returns the Table 3 abbreviations in the paper's figure order.
