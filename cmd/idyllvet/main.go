@@ -1,0 +1,108 @@
+// idyllvet is the repository's determinism linter: a pure-stdlib static
+// analysis pass that enforces the simulator core's determinism contract
+// (virtual time only, seeded RNG only, no stray concurrency, no
+// order-sensitive map iteration). See DESIGN.md "The determinism contract".
+//
+// Usage:
+//
+//	idyllvet [-checks walltime,maporder] [-list] [packages]
+//
+// Packages default to ./... and accept the go tool's "./dir/..." pattern
+// syntax. Findings print as "file:line:col: [check] message" and any
+// unsuppressed finding makes the tool exit 1; load or type-check failures
+// exit 2. Suppress a reviewed exception with
+//
+//	//idyllvet:ignore <check>[,<check>...] <justification>
+//
+// on, or directly above, the offending line (ignore-file for a whole file).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"idyll/internal/analysis"
+	"idyll/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		checksFlag = flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+		listFlag   = flag.Bool("list", false, "list available checks and exit")
+		rootFlag   = flag.String("root", ".", "module root directory")
+	)
+	flag.Parse()
+
+	analyzers := checks.All()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checksFlag != "" {
+		var unknown string
+		analyzers, unknown = checks.ByName(strings.Split(*checksFlag, ","))
+		if unknown != "" {
+			fmt.Fprintf(os.Stderr, "idyllvet: unknown check %q (see idyllvet -list)\n", unknown)
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(*rootFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idyllvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Match(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idyllvet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "idyllvet: no packages match %v\n", patterns)
+		return 2
+	}
+	// Only packages an analyzer applies to need type information; parsing
+	// alone is enough to ignore the rest, which keeps ./... runs cheap.
+	for _, pkg := range pkgs {
+		if analysis.NeedsTypes(analyzers, pkg) {
+			if err := loader.TypeCheck(pkg); err != nil {
+				fmt.Fprintf(os.Stderr, "idyllvet: %v\n", err)
+				return 2
+			}
+		}
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "idyllvet: %v\n", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		file := d.Position.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", file, d.Position.Line, d.Position.Column, d.Check, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "idyllvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,155 @@
+// Package checks holds the idyllvet analyzers that encode the simulator's
+// determinism contract. Each analyzer is a pure function over one
+// type-checked package; all of them are CoreOnly — the orchestration layers
+// (experiment, service, cmd/...) are allowed to use goroutines, wall time,
+// and everything else the core may not.
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"idyll/internal/analysis"
+)
+
+// All returns every analyzer, in stable registration order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		Walltime,
+		Globalrand,
+		Straygoroutine,
+		Maporder,
+		Floataccum,
+	}
+}
+
+// ByName resolves a comma-separated -checks flag value, returning nil and
+// the offending name if one is unknown.
+func ByName(names []string) ([]*analysis.Analyzer, string) {
+	var out []*analysis.Analyzer
+	for _, name := range names {
+		found := false
+		for _, a := range All() {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, name
+		}
+	}
+	return out, ""
+}
+
+// ---------------------------------------------------------------------------
+// Shared AST helpers.
+// ---------------------------------------------------------------------------
+
+// reportImports flags every import of the given package paths in the
+// package under analysis.
+func reportImports(pass *analysis.Pass, banned map[string]string) {
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if msg, ok := banned[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %q in the deterministic core: %s", path, msg)
+			}
+		}
+	}
+}
+
+// eachUseOf calls fn for every identifier in the package that resolves to a
+// package-level object of the named package (e.g. time.Now, rand.Intn).
+func eachUseOf(pass *analysis.Pass, pkgPath string, fn func(id *ast.Ident, obj types.Object)) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+				return true
+			}
+			if obj.Parent() != obj.Pkg().Scope() {
+				return true // method or field, not a package-level symbol
+			}
+			fn(id, obj)
+			return true
+		})
+	}
+}
+
+// isMapRange reports whether rng iterates a map.
+func isMapRange(pass *analysis.Pass, rng *ast.RangeStmt) bool {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// rootIdent peels index, selector, paren, and star expressions down to the
+// base identifier of an assignable expression, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether id's object is declared inside node (e.g.
+// a loop-local variable). Identifiers that do not resolve, or resolve to
+// objects with no position, count as outside.
+func declaredWithin(pass *analysis.Pass, id *ast.Ident, node ast.Node) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// eachStmtList calls fn for every statement list in the file — block
+// bodies, switch cases, and select clauses — so callers can see a
+// statement together with its following siblings.
+func eachStmtList(f *ast.File, fn func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BlockStmt:
+			fn(x.List)
+		case *ast.CaseClause:
+			fn(x.Body)
+		case *ast.CommClause:
+			fn(x.Body)
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

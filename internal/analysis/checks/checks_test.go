@@ -1,0 +1,80 @@
+package checks_test
+
+import (
+	"strings"
+	"testing"
+
+	"idyll/internal/analysis"
+	"idyll/internal/analysis/analysistest"
+	"idyll/internal/analysis/checks"
+)
+
+// TestAnalyzers drives every analyzer over its golden package under
+// ../testdata/src, covering positive, negative, and suppression cases via
+// the // want expectation comments in the sources themselves.
+func TestAnalyzers(t *testing.T) {
+	tests := []struct {
+		analyzer *analysis.Analyzer
+		pkg      string
+	}{
+		{checks.Walltime, "walltime"},
+		{checks.Globalrand, "globalrand"},
+		{checks.Straygoroutine, "straygoroutine"},
+		{checks.Maporder, "maporder"},
+		{checks.Floataccum, "floataccum"},
+	}
+	seen := make(map[string]bool)
+	for _, tt := range tests {
+		seen[tt.analyzer.Name] = true
+		tt := tt
+		t.Run(tt.pkg, func(t *testing.T) {
+			analysistest.Run(t, tt.analyzer, "../testdata", tt.pkg)
+		})
+	}
+	// Every registered analyzer must have a golden package; a new check
+	// added to All() without one fails here.
+	for _, a := range checks.All() {
+		if !seen[a.Name] {
+			t.Errorf("analyzer %s has no golden test package", a.Name)
+		}
+	}
+}
+
+// TestRegistry pins the registry's shape: stable names, docs, and the
+// CoreOnly scoping every determinism check relies on.
+func TestRegistry(t *testing.T) {
+	names := make(map[string]bool)
+	for _, a := range checks.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v is missing name, doc, or run function", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+		if !a.CoreOnly {
+			t.Errorf("analyzer %s is not CoreOnly; determinism checks must not fire on the orchestration layers", a.Name)
+		}
+		if a.Name != strings.ToLower(a.Name) || strings.ContainsAny(a.Name, " \t") {
+			t.Errorf("analyzer name %q must be lower-case with no spaces", a.Name)
+		}
+	}
+	for _, want := range []string{"walltime", "globalrand", "straygoroutine", "maporder", "floataccum"} {
+		if !names[want] {
+			t.Errorf("registry is missing the %s analyzer", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	got, unknown := checks.ByName([]string{"walltime", "maporder"})
+	if unknown != "" || len(got) != 2 {
+		t.Fatalf("ByName(walltime,maporder) = %d analyzers, unknown %q", len(got), unknown)
+	}
+	if got[0].Name != "walltime" || got[1].Name != "maporder" {
+		t.Fatalf("ByName returned wrong analyzers: %s, %s", got[0].Name, got[1].Name)
+	}
+	if _, unknown := checks.ByName([]string{"nosuchcheck"}); unknown != "nosuchcheck" {
+		t.Fatalf("ByName should report unknown check, got %q", unknown)
+	}
+}

@@ -1,0 +1,47 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"idyll/internal/analysis"
+)
+
+// Globalrand forbids math/rand (and math/rand/v2) in the deterministic
+// core. The global generators are seeded per-process (and auto-seeded since
+// Go 1.20), so two runs — or the same run on two Go releases — draw
+// different streams; even explicitly seeded rand.New drifts across Go
+// releases because the stdlib algorithms are not frozen. All core
+// randomness must come from sim.Rand (xoshiro256**, seeded via splitmix64),
+// whose stream is part of the repository's byte-identity guarantee.
+var Globalrand = &analysis.Analyzer{
+	Name:     "globalrand",
+	CoreOnly: true,
+	Doc: "forbid math/rand in the deterministic core: global generators are " +
+		"process-seeded and stdlib algorithms drift across Go releases; use the " +
+		"seeded sim.Rand (sim.NewRand) so random streams are part of the " +
+		"byte-identity guarantee",
+	Run: runGlobalrand,
+}
+
+func runGlobalrand(pass *analysis.Pass) error {
+	msg := "core randomness must come from the seeded sim RNG (sim.NewRand)"
+	reportImports(pass, map[string]string{
+		"math/rand":    msg,
+		"math/rand/v2": msg,
+	})
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		eachUseOf(pass, path, func(id *ast.Ident, obj types.Object) {
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return
+			}
+			switch obj.Name() {
+			case "New":
+				pass.Reportf(id.Pos(), "rand.New: even a seeded math/rand stream drifts across Go releases; use sim.NewRand(seed)")
+			default:
+				pass.Reportf(id.Pos(), "rand.%s: core randomness must come from the seeded sim RNG (sim.NewRand)", obj.Name())
+			}
+		})
+	}
+	return nil
+}

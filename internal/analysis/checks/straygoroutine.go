@@ -1,0 +1,52 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+
+	"idyll/internal/analysis"
+)
+
+// Straygoroutine keeps the deterministic core single-threaded: no go
+// statements, no channel operations, no sync primitives. The event engine
+// is the only scheduler — concurrency lives in internal/experiment (worker
+// pool over independent cells) and internal/service (HTTP), both of which
+// only ever call into the core from one goroutine per simulation. A stray
+// goroutine inside the core would make event interleaving depend on the Go
+// scheduler, which no seed can reproduce.
+var Straygoroutine = &analysis.Analyzer{
+	Name:     "straygoroutine",
+	CoreOnly: true,
+	Doc: "forbid go statements, channel operations, and sync primitives in the " +
+		"deterministic core: the event engine is the only scheduler, and " +
+		"simulations must replay identically regardless of GOMAXPROCS; " +
+		"concurrency belongs to experiment/ and service/",
+	Run: runStraygoroutine,
+}
+
+func runStraygoroutine(pass *analysis.Pass) error {
+	reportImports(pass, map[string]string{
+		"sync":        "the core is single-threaded by contract; locking hides scheduling dependence instead of removing it",
+		"sync/atomic": "the core is single-threaded by contract; atomics hide scheduling dependence instead of removing it",
+	})
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(x.Pos(), "go statement in the deterministic core: event interleaving would depend on the Go scheduler; schedule on the sim.Engine instead")
+			case *ast.SelectStmt:
+				pass.Reportf(x.Pos(), "select in the deterministic core: case choice is scheduler-dependent")
+			case *ast.SendStmt:
+				pass.Reportf(x.Pos(), "channel send in the deterministic core: cross-goroutine communication is scheduler-dependent")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					pass.Reportf(x.Pos(), "channel receive in the deterministic core: cross-goroutine communication is scheduler-dependent")
+				}
+			case *ast.ChanType:
+				pass.Reportf(x.Pos(), "channel type in the deterministic core: use sim.Engine events and plain callbacks")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"idyll/internal/analysis"
+)
+
+// wallClockFuncs are the package time symbols that read the host clock or
+// block on it. Flagged individually (on top of the import itself) so the
+// diagnostic lands on the exact call site.
+var wallClockFuncs = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"Sleep":     "blocks on the wall clock",
+	"Tick":      "creates a wall-clock ticker",
+	"NewTicker": "creates a wall-clock ticker",
+	"NewTimer":  "creates a wall-clock timer",
+	"After":     "creates a wall-clock timer",
+	"AfterFunc": "creates a wall-clock timer",
+}
+
+// Walltime enforces virtual time in the deterministic core: simulated
+// cycles advance only through sim.Engine's event clock (sim.VTime), so any
+// consultation of package time makes results depend on host speed and
+// scheduling. The import itself is flagged — even time.Duration has no
+// business in the core; configuration surfaces that want duration knobs
+// live in internal/config, which is outside the core set.
+var Walltime = &analysis.Analyzer{
+	Name:     "walltime",
+	CoreOnly: true,
+	Doc: "forbid package time in the deterministic core: the simulator runs on " +
+		"virtual time (sim.VTime); wall-clock reads make results depend on host " +
+		"speed and scheduling, which breaks byte-identical replay and the " +
+		"content-addressed result cache",
+	Run: runWalltime,
+}
+
+func runWalltime(pass *analysis.Pass) error {
+	reportImports(pass, map[string]string{
+		"time": "the core runs on virtual time (sim.VTime); durations and timestamps must be cycle counts",
+	})
+	eachUseOf(pass, "time", func(id *ast.Ident, obj types.Object) {
+		if why, ok := wallClockFuncs[obj.Name()]; ok {
+			pass.Reportf(id.Pos(), "time.%s %s; schedule on the sim.Engine event clock instead", obj.Name(), why)
+		}
+	})
+	return nil
+}

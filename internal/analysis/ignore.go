@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+//	//idyllvet:ignore <check>[,<check>...] <justification>
+//	//idyllvet:ignore-file <check>[,<check>...] <justification>
+//
+// An ignore directive suppresses matching findings on its own line or on
+// the line directly below it (so it works both as a trailing comment and as
+// a comment above the offending statement). The -file form suppresses
+// matching findings in the whole file.
+//
+// The justification is mandatory: a suppression is a reviewed exception to
+// the determinism contract, and the reason must live next to the code. A
+// directive without one is itself reported as an [idyllvet] finding.
+
+const (
+	ignorePrefix     = "//idyllvet:ignore"
+	ignoreFilePrefix = "//idyllvet:ignore-file"
+)
+
+type directive struct {
+	file     string
+	line     int
+	checks   map[string]bool
+	fileWide bool
+}
+
+// parseDirectives scans a package's comments for idyllvet directives,
+// returning the well-formed ones plus a diagnostic for each malformed one.
+func parseDirectives(pkg *Package) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				var fileWide bool
+				var rest string
+				switch {
+				case strings.HasPrefix(text, ignoreFilePrefix):
+					fileWide = true
+					rest = text[len(ignoreFilePrefix):]
+				case strings.HasPrefix(text, ignorePrefix):
+					rest = text[len(ignorePrefix):]
+				default:
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Check:    "idyllvet",
+						Position: pos,
+						Message:  "malformed ignore directive: want //idyllvet:ignore <check>[,<check>...] <justification>",
+					})
+					continue
+				}
+				checks := make(map[string]bool)
+				for _, name := range strings.Split(fields[0], ",") {
+					if name != "" {
+						checks[name] = true
+					}
+				}
+				dirs = append(dirs, directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					checks:   checks,
+					fileWide: fileWide,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// applyDirectives filters raw findings through the package's suppression
+// directives and appends a finding for every malformed directive.
+func applyDirectives(pkg *Package, raw []Diagnostic) []Diagnostic {
+	dirs, bad := parseDirectives(pkg)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(dirs, d.Position, d.Check) {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}
+
+func suppressed(dirs []directive, pos token.Position, check string) bool {
+	for _, dir := range dirs {
+		if dir.file != pos.Filename || !dir.checks[check] {
+			continue
+		}
+		if dir.fileWide || dir.line == pos.Line || dir.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

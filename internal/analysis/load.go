@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one directory of non-test Go files, parsed and (when an
+// analyzer applies to it) type-checked.
+type Package struct {
+	Path  string // full import path, e.g. "idyll/internal/sim"
+	Rel   string // module-relative slash path, "" for the module root
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types *types.Package // nil until TypeCheck
+	Info  *types.Info    // nil until TypeCheck
+}
+
+// A Loader discovers, parses, and type-checks the module's packages without
+// invoking the go command: module-internal imports resolve against the
+// source tree, and everything else (the standard library) goes through
+// go/importer's source importer, which type-checks $GOROOT/src directly.
+// That keeps idyllvet pure-stdlib and usable in any environment the tests
+// run in.
+type Loader struct {
+	Root   string // module root directory (contains go.mod)
+	Module string // module path from go.mod
+	Fset   *token.FileSet
+
+	pkgs     map[string]*Package // by import path, parsed
+	std      types.ImporterFrom
+	checking map[string]bool // cycle guard during type-checking
+}
+
+// NewLoader reads go.mod under root to learn the module path.
+func NewLoader(root string) (*Loader, error) {
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("idyllvet must run from the module root: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("no module line in %s/go.mod", abs)
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Root:     abs,
+		Module:   module,
+		Fset:     fset,
+		pkgs:     make(map[string]*Package),
+		checking: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// Match walks the module tree and returns the parsed packages matching the
+// go-style patterns ("./...", "./internal/...", "./cmd/idyllvet"). Test
+// files are excluded by design: the determinism contract binds the
+// simulator, not its tests, which legitimately use goroutines, timeouts,
+// and the race detector.
+func (l *Loader) Match(patterns []string) ([]*Package, error) {
+	var rels []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" || name == "vendor") {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(l.Root, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		for _, pat := range patterns {
+			if matchPattern(pat, rel) {
+				rels = append(rels, rel)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(rels)
+	var out []*Package
+	for _, rel := range rels {
+		pkg, err := l.parseRel(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern implements the "./..." subset of go's package patterns
+// against a module-relative slash path.
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "." {
+		pat = ""
+	}
+	if sub, ok := strings.CutSuffix(pat, "..."); ok {
+		sub = strings.TrimSuffix(sub, "/")
+		return sub == "" || rel == sub || strings.HasPrefix(rel, sub+"/")
+	}
+	return rel == pat
+}
+
+// parseRel parses the package in the module-relative directory rel,
+// returning nil (no error) for directories with no buildable Go files.
+func (l *Loader) parseRel(rel string) (*Package, error) {
+	path := l.Module
+	if rel != "" {
+		path = l.Module + "/" + rel
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); noGo {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	pkg := &Package{Path: path, Rel: rel, Dir: dir, Fset: l.Fset}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// TypeCheck populates pkg.Types and pkg.Info, type-checking dependencies as
+// needed. Type errors are fatal: analyzers must not run on partial
+// information, where a missing Uses entry silently hides a finding.
+func (l *Loader) TypeCheck(pkg *Package) error {
+	if pkg.Types != nil {
+		return nil
+	}
+	if l.checking[pkg.Path] {
+		return fmt.Errorf("import cycle through %s", pkg.Path)
+	}
+	l.checking[pkg.Path] = true
+	defer delete(l.checking, pkg.Path)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(pkg.Path, l.Fset, pkg.Files, info)
+	if err != nil {
+		return fmt.Errorf("type-checking %s: %w", pkg.Path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return nil
+}
+
+// Import implements types.Importer: module-internal paths resolve against
+// the source tree through this loader; everything else falls back to the
+// standard library's source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.parseRel(rel)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("no Go files in %s", path)
+		}
+		if err := l.TypeCheck(pkg); err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// LoadDir parses and type-checks the single directory dir as the import
+// path name. It is the entry point used by the golden-file test harness,
+// whose testdata packages live outside the module tree proper.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := build.ImportDir(abs, 0)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", abs, err)
+	}
+	pkg := &Package{Path: path, Rel: path, Dir: abs, Fset: l.Fset}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(abs, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if err := l.TypeCheck(pkg); err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}

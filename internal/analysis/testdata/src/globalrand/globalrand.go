@@ -1,0 +1,29 @@
+// Golden input for the globalrand check: positive, negative, and
+// suppression cases.
+package globalrand
+
+import (
+	"math/rand" // want `import of "math/rand" in the deterministic core`
+)
+
+// Positive: the process-global generator and explicitly seeded stdlib
+// generators are both banned — only the sim RNG's stream is frozen.
+func positive() int {
+	r := rand.New(rand.NewSource(42)) // want `rand\.New: even a seeded math/rand stream drifts` `rand\.NewSource: core randomness must come from the seeded sim RNG`
+	return r.Intn(10) + rand.Intn(10) // want `rand\.Intn: core randomness must come from the seeded sim RNG`
+}
+
+// Negative: a local splitmix-style generator owns its stream.
+type localRand struct{ state uint64 }
+
+func (r *localRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	return z ^ (z >> 31)
+}
+
+// Suppression: the directive on the preceding line silences the finding.
+//
+//idyllvet:ignore globalrand golden test for the suppression path
+func suppressed() float64 { return rand.Float64() }

@@ -1,0 +1,43 @@
+// Golden input for the straygoroutine check: positive, negative, and
+// suppression cases.
+package straygoroutine
+
+import (
+	"sync" // want `import of "sync" in the deterministic core`
+)
+
+// Positive: goroutines and channels make event interleaving depend on the
+// Go scheduler.
+func positive(mu *sync.Mutex) int {
+	ch := make(chan int, 1) // want `channel type in the deterministic core`
+	go func() {             // want `go statement in the deterministic core`
+		ch <- 1 // want `channel send in the deterministic core`
+	}()
+	return <-ch // want `channel receive in the deterministic core`
+}
+
+func selects(a chan int) { // want `channel type in the deterministic core`
+	select { // want `select in the deterministic core`
+	case <-a: // want `channel receive in the deterministic core`
+	default:
+	}
+}
+
+// Negative: single-threaded callback scheduling is the core's concurrency
+// model.
+type engine struct{ queue []func() }
+
+func (e *engine) schedule(fn func()) { e.queue = append(e.queue, fn) }
+
+func (e *engine) run() {
+	for len(e.queue) > 0 {
+		fn := e.queue[0]
+		e.queue = e.queue[1:]
+		fn()
+	}
+}
+
+// Suppression: the directive on the preceding line silences the finding.
+//
+//idyllvet:ignore straygoroutine golden test for the suppression path
+func suppressed() { go func() {}() }

@@ -1,0 +1,35 @@
+// Golden input for the walltime check: positive, negative, and
+// suppression cases.
+package walltime
+
+import (
+	"time" // want `import of "time" in the deterministic core`
+)
+
+// Positive: wall-clock reads and timers.
+func positive() time.Time {
+	time.Sleep(time.Millisecond) // want `time\.Sleep blocks on the wall clock`
+	return time.Now()            // want `time\.Now reads the wall clock`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since reads the wall clock`
+}
+
+func timers(d time.Duration) {
+	t := time.NewTimer(d) // want `time\.NewTimer creates a wall-clock timer`
+	t.Stop()
+	time.AfterFunc(d, func() {}) // want `time\.AfterFunc creates a wall-clock timer`
+}
+
+// Negative: virtual time is a plain cycle counter and needs nothing from
+// package time (uses of time.Time/time.Duration values alone are not
+// flagged beyond the import).
+type vtime uint64
+
+func advance(now, delta vtime) vtime { return now + delta }
+
+// Suppression: the directive on the preceding line silences the finding.
+//
+//idyllvet:ignore walltime golden test for the suppression path
+func suppressed() time.Time { return time.Now() }

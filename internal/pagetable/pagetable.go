@@ -11,6 +11,8 @@
 package pagetable
 
 import (
+	"sort"
+
 	"idyll/internal/memdef"
 )
 
@@ -219,25 +221,48 @@ func (t *Table) Entry(vpn memdef.VPN) *PTE {
 // and Invalidate do this automatically and are preferred.
 func (t *Table) UpdateValid(delta int) { t.valid += delta }
 
-// Range iterates all resident PTEs in unspecified order until fn returns
-// false.
+// Range iterates all resident PTEs in ascending VPN order until fn returns
+// false. The order is part of the contract: callbacks escape iteration
+// order to callers, so handing them raw map order would let the map hash
+// seed leak into anything built on top of Range.
 func (t *Table) Range(fn func(memdef.VPN, PTE) bool) {
 	t.rangeNode(t.root, 0, 0, fn)
 }
 
 func (t *Table) rangeNode(n *node, step int, prefix uint64, fn func(memdef.VPN, PTE) bool) bool {
 	if step == t.levels-1 {
-		for idx, p := range n.ptes {
-			if !fn(memdef.VPN(prefix<<9|idx), *p) {
+		for _, idx := range sortedPTEIndices(n) {
+			if !fn(memdef.VPN(prefix<<9|idx), *n.ptes[idx]) {
 				return false
 			}
 		}
 		return true
 	}
-	for idx, child := range n.children {
-		if !t.rangeNode(child, step+1, prefix<<9|idx, fn) {
+	for _, idx := range sortedChildIndices(n) {
+		if !t.rangeNode(n.children[idx], step+1, prefix<<9|idx, fn) {
 			return false
 		}
 	}
 	return true
+}
+
+// sortedPTEIndices fixes the traversal order of one leaf node (at most 512
+// entries).
+func sortedPTEIndices(n *node) []uint64 {
+	idxs := make([]uint64, 0, len(n.ptes))
+	for idx := range n.ptes {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs
+}
+
+// sortedChildIndices fixes the traversal order of one interior node.
+func sortedChildIndices(n *node) []uint64 {
+	idxs := make([]uint64, 0, len(n.children))
+	for idx := range n.children {
+		idxs = append(idxs, idx)
+	}
+	sort.Slice(idxs, func(i, j int) bool { return idxs[i] < idxs[j] })
+	return idxs
 }

@@ -213,14 +213,27 @@ func (sh *Sharing) Record(vpn memdef.VPN, gpu int) {
 // Pages reports the number of distinct pages touched.
 func (sh *Sharing) Pages() int { return len(sh.accessors) }
 
+// sortedVPNs returns the tracked pages in ascending VPN order. Every
+// reducer below iterates this slice rather than the maps directly so that
+// accumulation order — which matters for the float sums in
+// AccessDistribution — is independent of Go's randomized map iteration.
+func (sh *Sharing) sortedVPNs() []memdef.VPN {
+	vpns := make([]memdef.VPN, 0, len(sh.accessors))
+	for vpn := range sh.accessors {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
 // AccessDistribution returns, indexed by sharer count k (1-based up to
 // maxGPUs), the fraction of all accesses that went to pages accessed by
 // exactly k GPUs. Index 0 is unused.
 func (sh *Sharing) AccessDistribution(maxGPUs int) []float64 {
 	dist := make([]float64, maxGPUs+1)
 	var total uint64
-	for vpn, mask := range sh.accessors {
-		k := bits.OnesCount64(mask)
+	for _, vpn := range sh.sortedVPNs() {
+		k := bits.OnesCount64(sh.accessors[vpn])
 		if k > maxGPUs {
 			k = maxGPUs
 		}
@@ -241,10 +254,10 @@ func (sh *Sharing) AccessDistribution(maxGPUs int) []float64 {
 // more than one GPU (§5.1).
 func (sh *Sharing) SharedAccessRatio() float64 {
 	var shared, total uint64
-	for vpn, mask := range sh.accessors {
+	for _, vpn := range sh.sortedVPNs() {
 		n := sh.accesses[vpn]
 		total += n
-		if bits.OnesCount64(mask) > 1 {
+		if bits.OnesCount64(sh.accessors[vpn]) > 1 {
 			shared += n
 		}
 	}
