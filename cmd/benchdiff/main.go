@@ -8,8 +8,8 @@
 // is what makes the wall-clock comparison usable on shared machines.
 //
 //	benchdiff old.txt new.txt                 # compare two bench runs
-//	benchdiff -time -1 BENCH_PR2.json new.txt # allocs-only gate vs baseline
-//	benchdiff -emit BENCH_PR2.json new.txt    # record a baseline, no compare
+//	benchdiff -time -1 BENCH_PR6.json new.txt # allocs-only gate vs baseline
+//	benchdiff -emit BENCH_PR6.json new.txt    # record a baseline, no compare
 //
 // Exit status: 0 clean, 1 regression found, 2 usage/parse error.
 package main

@@ -41,6 +41,7 @@ func main() {
 		appsFlag = flag.String("apps", "", "comma-separated app subset (default: all)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = all cores)")
+		par      = flag.Int("par", 0, "parallel-engine workers per cell (<2 = serial engine; results identical)")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
 		prof     profiling.Flags
 	)
@@ -79,6 +80,7 @@ func main() {
 		o.Apps = splitCSV(*appsFlag)
 	}
 	o.Jobs = *jobs
+	o.Par = *par
 
 	// Ctrl-C / SIGTERM cancels the suite cooperatively: workers stop at
 	// their next event-loop batch instead of running their cell to the end.

@@ -117,6 +117,7 @@ func cmdRun(args []string) {
 		"scheme, comma-separated scheme list, or 'all'")
 	threshold := fs.Int("threshold", 2, "access-counter threshold")
 	jobs := fs.Int("jobs", 0, "concurrent scheme runs (0 = all cores)")
+	par := fs.Int("par", 0, "parallel-engine workers per run (<2 = serial engine; results identical)")
 	quiet := fs.Bool("quiet", false, "suppress the stderr progress display")
 	engineStats := fs.Bool("enginestats", false,
 		"also print the event engine's internal counters per scheme")
@@ -140,7 +141,7 @@ func cmdRun(args []string) {
 	// Each scheme is one cell of the pool; every cell replays the same
 	// loaded trace (read-only during runs), so the sweep parallelizes
 	// without re-reading or regenerating anything.
-	o := experiment.Options{Jobs: *jobs, CounterThreshold: *threshold}
+	o := experiment.Options{Jobs: *jobs, Par: *par, CounterThreshold: *threshold}
 	if !*quiet {
 		o.Progress = experiment.ProgressPrinter(os.Stderr, t.Params.Abbr)
 	}

@@ -20,6 +20,9 @@ func TestAnalyzers(t *testing.T) {
 		{checks.Walltime, "walltime"},
 		{checks.Globalrand, "globalrand"},
 		{checks.Straygoroutine, "straygoroutine"},
+		// The concurrency boundary: same constructs as the straygoroutine
+		// golden package, zero expected findings (see the package comment).
+		{checks.Straygoroutine, "internal/sim/pdes"},
 		{checks.Maporder, "maporder"},
 		{checks.Floataccum, "floataccum"},
 	}

@@ -1,0 +1,43 @@
+// Package pdes is the golden NEGATIVE case for the straygoroutine check's
+// concurrency boundary: this package path (analysis.ConcurrencyBoundary) is
+// the one core package licensed to use goroutines, channels, and sync
+// primitives, so none of the constructs below carry a want comment — any
+// finding here fails the test as unexpected. The positive case (the same
+// constructs flagged in an ordinary core package) lives in
+// testdata/src/straygoroutine.
+package pdes
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type pool struct {
+	wg      sync.WaitGroup
+	round   atomic.Uint64
+	results chan int
+}
+
+func (p *pool) spawn(n int) {
+	p.results = make(chan int, n)
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go func(w int) {
+			defer p.wg.Done()
+			p.round.Add(1)
+			p.results <- w
+		}(i)
+	}
+}
+
+func (p *pool) drain(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		select {
+		case w := <-p.results:
+			total += w
+		}
+	}
+	p.wg.Wait()
+	return total
+}

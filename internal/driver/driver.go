@@ -19,6 +19,7 @@ import (
 	"idyll/internal/memdef"
 	"idyll/internal/pagetable"
 	"idyll/internal/sim"
+	"idyll/internal/sim/pdes"
 	"idyll/internal/stats"
 )
 
@@ -59,9 +60,11 @@ type migration struct {
 	deferred     []fault
 }
 
-// Driver is the UVM driver instance.
+// Driver is the UVM driver instance. All of its state belongs to the host
+// synchronization domain; GPUs reach it only through network deliveries.
 type Driver struct {
-	engine  *sim.Engine
+	dom     *pdes.Domain
+	engine  *sim.Engine // dom's engine
 	machine config.Machine
 	scheme  config.Scheme
 	net     *interconnect.Network
@@ -94,10 +97,18 @@ type queuedMig struct {
 	collapse bool
 }
 
-// New builds a driver for the given machine and scheme.
-func New(engine *sim.Engine, machine config.Machine, scheme config.Scheme,
+// New builds a driver on the host synchronization domain.
+func New(dom *pdes.Domain, machine config.Machine, scheme config.Scheme,
 	net *interconnect.Network, st *stats.Sim) *Driver {
+	if scheme.ZeroLatencyInval && dom.Cluster().NumDomains() > 1 {
+		// The idealization invalidates every GPU synchronously from the
+		// host's event — a genuinely zero-lookahead interaction that only a
+		// single-domain layout can express (see internal/sim/pdes).
+		panic("driver: zero-latency invalidation requires a single-domain cluster")
+	}
+	engine := dom.Engine()
 	d := &Driver{
+		dom:             dom,
 		engine:          engine,
 		machine:         machine,
 		scheme:          scheme,
@@ -261,7 +272,9 @@ func (d *Driver) firstTouchPlace(f fault) {
 	d.hostPT.Map(f.vpn, pagetable.PTE{PFN: frame, Valid: true, Writable: true})
 	d.dir.Record(f.vpn, f.gpu)
 	// Page data moves CPU→GPU over PCIe, then the translation is replayed.
-	d.net.CPUToGPU(f.gpu, d.pageBytes(), func() {
+	// The replay is the driver's own continuation (it sends the mapping), so
+	// it rides the send's local completion, not the remote delivery.
+	d.net.CPUToGPU(f.gpu, d.pageBytes(), nil, func() {
 		d.sendMapping(f.gpu, f.vpn, pagetable.PTE{PFN: frame, Valid: true, Writable: true})
 	})
 }
@@ -276,8 +289,12 @@ func (d *Driver) recordAndReply(gpu int, vpn memdef.VPN, pfn memdef.PFN, writabl
 // pushes fingerprint updates to the other GPUs.
 func (d *Driver) sendMapping(gpu int, vpn memdef.VPN, pte pagetable.PTE) {
 	d.repliesInFlight[vpn]++
+	// Two continuations at the same arrival cycle: the GPU installs the
+	// mapping in its own domain, while the driver retires the in-flight
+	// reply in the host domain. They touch disjoint state.
 	d.net.CPUToGPU(gpu, memdef.ControlMsgBytes, func() {
 		d.gpus[gpu].ReceiveMapping(vpn, pte)
+	}, func() {
 		d.replyDelivered(vpn)
 	})
 	if d.scheme.TransFW {
@@ -288,7 +305,7 @@ func (d *Driver) sendMapping(gpu int, vpn memdef.VPN, pte pagetable.PTE) {
 			g := g
 			d.net.CPUToGPU(g, memdef.ControlMsgBytes, func() {
 				d.gpus[g].ReceivePRTInsert(vpn, gpu)
-			})
+			}, nil)
 		}
 	}
 }
@@ -372,7 +389,7 @@ func (d *Driver) startMigration(vpn memdef.VPN, to int, collapse bool) {
 		for g := 0; g < d.machine.NumGPUs; g++ {
 			d.st.DirectoryTargeted++
 			d.gpus[g].ReceiveInvalidation(vpn, func() {})
-			d.net.CPUToGPU(g, memdef.ControlMsgBytes, func() {})
+			d.net.CPUToGPU(g, memdef.ControlMsgBytes, nil, nil)
 		}
 		d.hostWalkInvalidate(m, nil)
 		return
@@ -428,13 +445,16 @@ func (d *Driver) sendInvalidations(m *migration, targets []int) {
 		g := g
 		d.net.CPUToGPU(g, memdef.ControlMsgBytes, func() {
 			d.gpus[g].ReceiveInvalidation(m.vpn, func() {
-				// The GPU acks over PCIe once its scheme says so.
+				// The GPU acks over PCIe once its scheme says so; both the
+				// ReceiveInvalidation handler and this ack send run in GPU
+				// g's domain, while the ack's delivery advances the
+				// migration FSM back in the host domain.
 				d.net.GPUToCPU(g, memdef.ControlMsgBytes, func() {
 					m.pendingAcks--
 					d.maybeTransfer(m)
-				})
+				}, nil)
 			})
-		})
+		}, nil)
 	}
 }
 
@@ -456,14 +476,31 @@ func (d *Driver) maybeTransfer(m *migration) {
 	finish := func() { d.completeMigration(m, newFrame) }
 	switch {
 	case from.IsCPU():
-		d.net.CPUToGPU(m.to, d.pageBytes(), finish)
+		// finish mutates driver state, so it rides the host-side completion
+		// of the data push, not the GPU-side delivery.
+		d.net.CPUToGPU(m.to, d.pageBytes(), nil, finish)
 	case from == memdef.GPUDevice(m.to):
 		// Collapse onto a GPU that already holds the bytes (it had a
 		// replica or is the owner): no bulk transfer needed.
 		d.engine.Schedule(1, finish)
 	default:
-		d.net.GPUToGPU(from.GPUIndex(), m.to, d.pageBytes(), finish)
+		// GPU→GPU copy as the command chain real drivers issue: the host
+		// orders the source GPU to push the page over NVLink, and the
+		// destination GPU reports the landed page back to the host, which
+		// then remaps. Each hop runs in the domain that owns its link.
+		d.copyGPUToGPU(from.GPUIndex(), m.to, finish)
 	}
+}
+
+// copyGPUToGPU moves one page from GPU src to GPU dst via the host-issued
+// command chain (ctrl to src; bulk data src→dst; ctrl ack to host) and runs
+// done in the host domain once the ack lands.
+func (d *Driver) copyGPUToGPU(src, dst int, done func()) {
+	d.net.CPUToGPU(src, memdef.ControlMsgBytes, func() {
+		d.net.GPUToGPU(src, dst, d.pageBytes(), func() {
+			d.net.GPUToCPU(dst, memdef.ControlMsgBytes, done, nil)
+		}, nil)
+	}, nil)
 }
 
 // completeMigration installs the new mapping, replays deferred faults and
@@ -528,14 +565,16 @@ func (d *Driver) resolveReplication(f fault, hostPTE pagetable.PTE) {
 	d.replicas[f.vpn][f.gpu] = frame
 	d.dir.Record(f.vpn, f.gpu)
 	d.st.Replications++
-	// Copy the page from its owner to the reader, then map it locally.
-	deliver := func() {
+	// Copy the page from its owner to the reader, then map it locally. The
+	// mapping send is driver work, so it follows the copy's host-side
+	// completion (CPU owner) or the command chain's ack (GPU owner).
+	mapReplica := func() {
 		d.sendMapping(f.gpu, f.vpn, pagetable.PTE{PFN: frame, Valid: true, Writable: false})
 	}
 	if owner.IsCPU() {
-		d.net.CPUToGPU(f.gpu, d.pageBytes(), deliver)
+		d.net.CPUToGPU(f.gpu, d.pageBytes(), nil, mapReplica)
 	} else {
-		d.net.GPUToGPU(owner.GPUIndex(), f.gpu, d.pageBytes(), deliver)
+		d.copyGPUToGPU(owner.GPUIndex(), f.gpu, mapReplica)
 	}
 }
 

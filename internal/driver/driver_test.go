@@ -8,6 +8,7 @@ import (
 	"idyll/internal/memdef"
 	"idyll/internal/pagetable"
 	"idyll/internal/sim"
+	"idyll/internal/sim/pdes"
 	"idyll/internal/stats"
 )
 
@@ -39,21 +40,24 @@ func (f *fakeGPU) ReceivePRTInsert(vpn memdef.VPN, holder int) {
 	f.prt = append(f.prt, vpn)
 }
 
-// rig builds a driver with four fake GPUs.
+// rig builds a driver with four fake GPUs on a single-domain cluster, where
+// the domain plumbing degenerates to the plain engine the assertions drive.
 func rig(t *testing.T, scheme config.Scheme) (*sim.Engine, *Driver, []*fakeGPU, *stats.Sim) {
 	t.Helper()
-	e := sim.NewEngine()
+	cl := pdes.NewCluster(1, 1)
+	dom := cl.Domain(0)
+	e := dom.Engine()
 	m := config.Default()
 	m.MigrationBlockPages = 1 // page-granular for precise assertions
 	st := stats.NewSim()
-	net := interconnect.NewNetwork(e, interconnect.Config{
+	net := interconnect.NewNetwork(cl, interconnect.Config{
 		NumGPUs:             m.NumGPUs,
 		NVLinkBytesPerCycle: m.NVLinkBytesPerCycle,
 		NVLinkLatency:       m.NVLinkLatency,
 		PCIeBytesPerCycle:   m.PCIeBytesPerCycle,
 		PCIeLatency:         m.PCIeLatency,
 	})
-	d := New(e, m, scheme, net, st)
+	d := New(dom, m, scheme, net, st)
 	fakes := make([]*fakeGPU, m.NumGPUs)
 	ports := make([]GPUPort, m.NumGPUs)
 	for i := range fakes {
@@ -308,15 +312,17 @@ func TestTransFWSchemePushesPRTInserts(t *testing.T) {
 }
 
 func TestBlockMigrationMovesWholeRegion(t *testing.T) {
-	e := sim.NewEngine()
+	cl := pdes.NewCluster(1, 1)
+	dom := cl.Domain(0)
+	e := dom.Engine()
 	m := config.Default()
 	m.MigrationBlockPages = 4
 	st := stats.NewSim()
-	net := interconnect.NewNetwork(e, interconnect.Config{
+	net := interconnect.NewNetwork(cl, interconnect.Config{
 		NumGPUs: m.NumGPUs, NVLinkBytesPerCycle: 300, NVLinkLatency: 100,
 		PCIeBytesPerCycle: 32, PCIeLatency: 300,
 	})
-	d := New(e, m, config.Baseline(), net, st)
+	d := New(dom, m, config.Baseline(), net, st)
 	fakes := make([]*fakeGPU, m.NumGPUs)
 	ports := make([]GPUPort, m.NumGPUs)
 	for i := range fakes {

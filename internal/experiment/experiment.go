@@ -47,6 +47,15 @@ type Options struct {
 	// cell seeds its trace from (Seed, figure, app) alone — see CellSeed —
 	// so Jobs=1 and Jobs=N render byte-identical tables.
 	Jobs int
+	// Par selects the parallel event engine inside each cell: the number of
+	// goroutines executing a system's synchronization domains (values below
+	// 2 run the serial executor). Like Jobs it is a pure execution knob —
+	// results are byte-identical at any setting (CI enforces this) — so it is
+	// excluded from Canonical and never part of result identity. Jobs and Par
+	// compose: Jobs spreads cells across cores, Par spreads one cell's GPUs;
+	// prefer Jobs when a pass has many cells, Par when a single large cell
+	// dominates wall-clock.
+	Par int
 	// Progress, when non-nil, is called after each cell a runner pass
 	// completes, with the finished count, the pass total, and a
 	// "figure app/scheme" label. Calls are serialized, never concurrent.
@@ -122,6 +131,7 @@ func RunParams(machine config.Machine, scheme config.Scheme, app workload.Params
 	if err != nil {
 		return nil, err
 	}
+	s.ParWorkers = o.Par
 	trace := workload.Generate(app, m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
 	return s.RunCtx(o.Context(), trace)
 }

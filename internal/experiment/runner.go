@@ -172,6 +172,7 @@ func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
 		if err != nil {
 			return nil, err
 		}
+		s.ParWorkers = co.Par
 		return s.RunCtx(co.Context(), spec.Trace)
 	}
 	co.Seed = CellSeed(co.Seed, spec.Figure, spec.App)

@@ -15,6 +15,7 @@ import (
 	"idyll/internal/memdef"
 	"idyll/internal/pagetable"
 	"idyll/internal/sim"
+	"idyll/internal/sim/pdes"
 	"idyll/internal/stats"
 	"idyll/internal/tlb"
 	"idyll/internal/transfw"
@@ -39,10 +40,15 @@ type waiter struct {
 	done      func()
 }
 
-// GPU is one device.
+// GPU is one device. Every piece of its state — TLBs, GMMU, IRMB, counters,
+// the stats shard — belongs to its synchronization domain and is touched
+// only by events on that domain's engine; peers and the driver reach it
+// exclusively through network deliveries.
 type GPU struct {
 	ID      int
-	engine  *sim.Engine
+	dom     *pdes.Domain
+	engine  *sim.Engine // dom's engine, cached for the hot local paths
+	hostDom *pdes.Domain
 	machine config.Machine
 	scheme  config.Scheme
 	net     *interconnect.Network
@@ -81,6 +87,7 @@ type GPU struct {
 	trace          [][]workload.Access
 	cuNext         []int
 	running        int // CU slots still live
+	finished       bool
 	doneAt         sim.VTime
 	onDone         func()
 	computeGap     int
@@ -96,12 +103,16 @@ type GPU struct {
 	OnTranslated func(gpu int, vpn memdef.VPN, pfn memdef.PFN)
 }
 
-// New builds a GPU.
-func New(engine *sim.Engine, id int, machine config.Machine, scheme config.Scheme,
+// New builds a GPU on its synchronization domain. The host domain defaults
+// to the GPU's own (the single-domain layout); SetHostDomain overrides it.
+func New(dom *pdes.Domain, id int, machine config.Machine, scheme config.Scheme,
 	net *interconnect.Network, st *stats.Sim) *GPU {
+	engine := dom.Engine()
 	g := &GPU{
 		ID:          id,
+		dom:         dom,
 		engine:      engine,
+		hostDom:     dom,
 		machine:     machine,
 		scheme:      scheme,
 		net:         net,
@@ -161,6 +172,18 @@ func New(engine *sim.Engine, id int, machine config.Machine, scheme config.Schem
 // SetHost attaches the UVM driver.
 func (g *GPU) SetHost(h Host) { g.host = h }
 
+// SetHostDomain names the domain the UVM driver executes in, so host-side
+// continuations (e.g. the CPU's DRAM read on a CPU-resident access) are
+// scheduled on the host's engine, not this GPU's.
+func (g *GPU) SetHostDomain(d *pdes.Domain) {
+	if d != nil {
+		g.hostDom = d
+	}
+}
+
+// Domain reports the GPU's synchronization domain.
+func (g *GPU) Domain() *pdes.Domain { return g.dom }
+
 // SetPeers attaches the other GPUs (for Trans-FW remote forwarding).
 func (g *GPU) SetPeers(peers []*GPU) { g.peers = peers }
 
@@ -210,6 +233,11 @@ func (g *GPU) Run(trace [][]workload.Access, onDone func()) {
 // DoneAt reports the cycle the last access retired.
 func (g *GPU) DoneAt() sim.VTime { return g.doneAt }
 
+// Finished reports whether every CU slot has retired its last access. Read
+// it after the run completes: during a parallel run it belongs to the GPU's
+// domain like the rest of the GPU's state.
+func (g *GPU) Finished() bool { return g.finished }
+
 // issueNext pulls the CU's next trace entry into this slot, or retires the
 // slot when the stream is exhausted.
 func (g *GPU) issueNext(cu int) {
@@ -229,6 +257,7 @@ func (g *GPU) issueNext(cu int) {
 func (g *GPU) finishSlot() {
 	g.running--
 	if g.running <= 0 {
+		g.finished = true
 		g.doneAt = g.engine.Now()
 		if g.onDone != nil {
 			g.onDone()
@@ -344,7 +373,7 @@ func (g *GPU) farFault(vpn memdef.VPN, write bool) {
 	}
 	g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
 		g.host.FarFault(g.ID, vpn, write)
-	})
+	}, nil)
 }
 
 // forwardToPeer asks a remote GPU for its translation of vpn (Trans-FW).
@@ -357,7 +386,9 @@ func (g *GPU) forwardToPeer(vpn memdef.VPN, holder int) {
 	// overhead.
 	const remoteLookupLatency = 150
 	g.net.GPUToGPU(g.ID, holder, memdef.ControlMsgBytes, func() {
-		g.engine.Schedule(remoteLookupLatency, func() {
+		// Executing in the holder's domain now: the lookup delay and the
+		// page-table read belong to the holder's engine and state.
+		peer.engine.Schedule(remoteLookupLatency, func() {
 			pte, ok := peer.gmmu.PageTable().Lookup(vpn)
 			if ok && peer.irmb != nil && (peer.irmb.Lookup(vpn) || peer.pendingWB[vpn]) {
 				ok = false // the holder's own copy is pending invalidation
@@ -376,11 +407,11 @@ func (g *GPU) forwardToPeer(vpn memdef.VPN, holder int) {
 				g.gmmu.UpdateUnless(vpn, pte, func() bool { return g.invalEpoch[vpn] != epoch }, nil)
 				g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
 					g.host.RecordResidency(g.ID, vpn)
-				})
+				}, nil)
 				g.translationReady(vpn, tlb.Entry{PFN: pte.PFN, Writable: pte.Writable})
-			})
+			}, nil)
 		})
-	})
+	}, nil)
 }
 
 // translationReady fills the TLBs and releases every waiter merged on vpn.
@@ -428,10 +459,11 @@ func (g *GPU) dataAccess(cu int, vpn memdef.VPN, acc workload.Access, e tlb.Entr
 	g.countRemote(vpn)
 	if dev.IsCPU() {
 		g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
-			g.engine.Schedule(g.machine.DRAMLatency, func() {
-				g.net.CPUToGPU(g.ID, 2*memdef.CachelineBytes, done)
+			// Host domain: the CPU's DRAM read and the reply send run there.
+			g.hostDom.Schedule(g.machine.DRAMLatency, func() {
+				g.net.CPUToGPU(g.ID, 2*memdef.CachelineBytes, done, nil)
 			})
-		})
+		}, nil)
 		return
 	}
 	owner := dev.GPUIndex()
@@ -445,9 +477,11 @@ func (g *GPU) dataAccess(cu int, vpn memdef.VPN, acc workload.Access, e tlb.Entr
 	}
 	occupancy := g.machine.RemoteEngineOccupancy
 	g.net.GPUToGPU(g.ID, owner, memdef.ControlMsgBytes, func() {
+		// Executing in the owner's domain: its DRAM timing, its remote-access
+		// engine pool, and the reply send all belong to the owner's engine.
 		respond := func() {
-			g.engine.Schedule(g.machine.DRAMLatency+g.machine.RemoteDRAMExtra, func() {
-				g.net.GPUToGPU(owner, g.ID, 2*memdef.CachelineBytes, done)
+			peer.engine.Schedule(g.machine.DRAMLatency+g.machine.RemoteDRAMExtra, func() {
+				g.net.GPUToGPU(owner, g.ID, 2*memdef.CachelineBytes, done, nil)
 			})
 		}
 		if peer.remoteService == nil {
@@ -455,10 +489,10 @@ func (g *GPU) dataAccess(cu int, vpn memdef.VPN, acc workload.Access, e tlb.Entr
 			return
 		}
 		peer.remoteService.Acquire(func(release func()) {
-			g.engine.Schedule(occupancy, release)
+			peer.engine.Schedule(occupancy, release)
 			respond()
 		})
-	})
+	}, nil)
 }
 
 // countRemote advances the access counter and fires a migration request at
@@ -485,7 +519,7 @@ func (g *GPU) countRemote(vpn memdef.VPN) {
 	g.counters[region] = 0
 	g.net.GPUToCPU(g.ID, memdef.ControlMsgBytes, func() {
 		g.host.RequestMigration(g.ID, vpn)
-	})
+	}, nil)
 }
 
 // ---------------------------------------------------------------------------

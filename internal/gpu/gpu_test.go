@@ -8,6 +8,7 @@ import (
 	"idyll/internal/memdef"
 	"idyll/internal/pagetable"
 	"idyll/internal/sim"
+	"idyll/internal/sim/pdes"
 	"idyll/internal/stats"
 	"idyll/internal/workload"
 )
@@ -35,21 +36,24 @@ func (h *fakeHost) RecordResidency(gpu int, vpn memdef.VPN) {
 	h.residency = append(h.residency, vpn)
 }
 
-// rig builds one GPU with a fake host.
+// rig builds one GPU with a fake host on a single-domain cluster, where the
+// domain plumbing degenerates to the plain engine the assertions drive.
 func rig(t *testing.T, scheme config.Scheme) (*sim.Engine, *GPU, *fakeHost, *stats.Sim) {
 	t.Helper()
-	e := sim.NewEngine()
+	cl := pdes.NewCluster(1, 1)
+	dom := cl.Domain(0)
+	e := dom.Engine()
 	m := config.Default()
 	m.CUsPerGPU = 2
 	m.OutstandingPerCU = 2
 	m.AccessCounterThreshold = 4
 	m.MigrationBlockPages = 1
 	st := stats.NewSim()
-	net := interconnect.NewNetwork(e, interconnect.Config{
+	net := interconnect.NewNetwork(cl, interconnect.Config{
 		NumGPUs: m.NumGPUs, NVLinkBytesPerCycle: 300, NVLinkLatency: 100,
 		PCIeBytesPerCycle: 32, PCIeLatency: 300,
 	})
-	g := New(e, 0, m, scheme, net, st)
+	g := New(dom, 0, m, scheme, net, st)
 	h := &fakeHost{}
 	g.SetHost(h)
 	g.SetWorkloadShape(4, 1)

@@ -45,8 +45,26 @@ type CellResult struct {
 // next batch boundary.
 func RunSpec(ctx context.Context, spec CanonicalSpec,
 	progress func(done, total int, cell string)) ([]byte, error) {
+	return runSpec(ctx, spec, progress, 0)
+}
+
+// RunSpecPar returns a RunFunc that executes like RunSpec but on the
+// parallel event engine with par worker goroutines per simulation. Par is a
+// server-side execution knob (idylld -par): it never enters the spec, so
+// spec hashes — and with them the content-addressed cache — are unaffected,
+// which is sound because results are byte-identical at any worker count.
+func RunSpecPar(par int) RunFunc {
+	return func(ctx context.Context, spec CanonicalSpec,
+		progress func(done, total int, cell string)) ([]byte, error) {
+		return runSpec(ctx, spec, progress, par)
+	}
+}
+
+func runSpec(ctx context.Context, spec CanonicalSpec,
+	progress func(done, total int, cell string), par int) ([]byte, error) {
 	o := spec.Options.WithContext(ctx)
 	o.Progress = progress
+	o.Par = par
 
 	switch spec.Kind {
 	case KindCell:

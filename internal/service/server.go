@@ -21,6 +21,11 @@ type Config struct {
 	// Workers bounds how many jobs run concurrently (default GOMAXPROCS).
 	// Each job may itself parallelize across cells via its options' Jobs.
 	Workers int
+	// Par runs every simulation on the parallel event engine with this many
+	// worker goroutines (values below 2 keep the serial engine). A pure
+	// execution knob: results, and therefore spec hashes and cache contents,
+	// are byte-identical at any setting. Ignored when Runner is injected.
+	Par int
 	// QueueDepth bounds the accepted-but-not-running backlog (default 64).
 	// A full queue sheds load: POST answers 429 with Retry-After.
 	QueueDepth int
@@ -63,7 +68,7 @@ func (c Config) withDefaults() Config {
 		c.JobTimeout = 10 * time.Minute
 	}
 	if c.Runner == nil {
-		c.Runner = RunSpec
+		c.Runner = RunSpecPar(c.Par)
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}

@@ -313,6 +313,13 @@ func (e *Engine) popRing(limit VTime) *eventNode {
 	end := e.winStart + ringWindow
 	for e.ringLive > 0 && e.cursor < end {
 		if limit >= 0 && e.cursor > limit {
+			// Word skips below may have overshot the limit by up to 63
+			// cycles. Pull the cursor back to the first unexamined cycle:
+			// events scheduled into (limit, cursor) after this cut — the
+			// PDES barrier-injection pattern — must not be stranded behind
+			// it. Cycles at or below limit were drained, so limit+1 is
+			// exact, never lossy.
+			e.cursor = limit + 1
 			return nil
 		}
 		s := int(uint64(e.cursor) & (ringWindow - 1))
@@ -422,6 +429,45 @@ func (e *Engine) RunUntil(limit VTime) VTime {
 // one was executed.
 func (e *Engine) Step() bool {
 	return e.fireNext(-1)
+}
+
+// NextAt reports the time of the earliest scheduled event without executing
+// or removing anything — the peek a conservative parallel coordinator needs
+// to place the next synchronization window. It scans the ring from the
+// cursor using the occupancy bitmap, skipping cancelled entries and stale
+// buckets, and falls back to the far heap's minimum.
+func (e *Engine) NextAt() (VTime, bool) {
+	if e.ringLive > 0 {
+		end := e.winStart + ringWindow
+		for c := e.cursor; c < end; {
+			s := int(uint64(c) & (ringWindow - 1))
+			w := e.occ[s>>6] >> (uint(s) & 63)
+			if w == 0 {
+				c += VTime(64 - (s & 63))
+				continue
+			}
+			if d := bits.TrailingZeros64(w); d > 0 {
+				c += VTime(d)
+				continue
+			}
+			b := &e.ring[s]
+			if b.cycle == c {
+				for i := b.head; i < len(b.ev); i++ {
+					if b.ev[i] != nil {
+						return c, true
+					}
+				}
+			}
+			c++
+		}
+		// ringLive > 0 guarantees a live event inside [cursor, end), so the
+		// scan above cannot fall through; this is unreachable.
+		panic("sim: ring accounting out of sync")
+	}
+	if len(e.far) > 0 {
+		return e.far[0].at, true
+	}
+	return 0, false
 }
 
 // RunBatch executes up to n events and reports whether live events remain.

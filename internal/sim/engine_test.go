@@ -237,3 +237,59 @@ func TestEngineOrderProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a next event")
+	}
+	e.Schedule(ringWindow+50, func() {}) // far heap only
+	if at, ok := e.NextAt(); !ok || at != ringWindow+50 {
+		t.Fatalf("NextAt = %d,%v; want far event at %d", at, ok, ringWindow+50)
+	}
+	e.Schedule(7, func() {}) // ring beats far
+	if at, ok := e.NextAt(); !ok || at != 7 {
+		t.Fatalf("NextAt = %d,%v; want ring event at 7", at, ok)
+	}
+	e.RunUntil(7)
+	if at, ok := e.NextAt(); !ok || at != ringWindow+50 {
+		t.Fatalf("NextAt after drain = %d,%v; want %d", at, ok, ringWindow+50)
+	}
+	e.Run()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("drained engine reported a next event")
+	}
+}
+
+func TestEngineNextAtSkipsCancelled(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(3, func() {})
+	e.Schedule(9, func() {})
+	e.Cancel(id)
+	if at, ok := e.NextAt(); !ok || at != 9 {
+		t.Fatalf("NextAt = %d,%v; want 9 (cancelled slot skipped)", at, ok)
+	}
+}
+
+// TestEngineRunUntilThenScheduleJustPast is the cursor-clamp regression: a
+// RunUntil cut used to leave the ring cursor up to 63 cycles past the limit
+// (bitmap word skipping), so an event scheduled into that overshoot span —
+// exactly what the parallel engine's barrier injection does at window edges —
+// landed behind the cursor and was silently dropped a full ring lap later.
+func TestEngineRunUntilThenScheduleJustPast(t *testing.T) {
+	for gap := VTime(1); gap <= 70; gap++ {
+		e := NewEngine()
+		e.Schedule(5, func() {}) // something to drain before the cut
+		const limit = 100
+		e.RunUntil(limit)
+		fired := false
+		e.ScheduleAt(limit+gap, func() { fired = true })
+		e.RunUntil(limit + gap)
+		if !fired {
+			t.Fatalf("event at limit+%d never fired after a RunUntil(%d) cut", gap, limit)
+		}
+		if e.Now() != limit+gap {
+			t.Fatalf("clock at %d, want %d", e.Now(), limit+gap)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package pdes
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"idyll/internal/sim"
+)
+
+// workerPool runs one window's domains concurrently. Worker w owns the
+// domain stripe w, w+workers, w+2*workers, ...; stripes are disjoint, so no
+// two goroutines ever touch the same engine. The pool synchronizes with two
+// atomic counters forming a sense-style barrier:
+//
+//   - round is bumped by the coordinator to release the workers into a
+//     window (its limit published in limit beforehand);
+//   - arrived is bumped by each worker when its stripe is done; the
+//     coordinator waits for all of them before touching any engine.
+//
+// Both bumps are release/acquire edges under the Go memory model, so the
+// plain fields (limit, stopped, the engines themselves) are data-race-free:
+// everything a worker reads was written before the round bump, and
+// everything the coordinator reads was written before the arrived bump.
+// Workers spin with runtime.Gosched between polls — windows are short
+// (microseconds), so parking on a channel would cost more than it saves.
+type workerPool struct {
+	c       *Cluster
+	workers int
+
+	limit   sim.VTime // window limit for the current round
+	stopped bool      // set before the final round bump
+
+	round   atomic.Uint64
+	arrived atomic.Uint64
+
+	// panics collects one recovered value per worker. A model panic inside
+	// a worker must surface to the caller of Run — as it does under the
+	// serial executor — not kill the process from an anonymous goroutine.
+	panics []any
+	wg     sync.WaitGroup
+}
+
+func newWorkerPool(c *Cluster, workers int) *workerPool {
+	p := &workerPool{c: c, workers: workers, panics: make([]any, workers)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// runWindow executes one window on the pool and re-raises any worker panic
+// once every worker has parked again.
+func (p *workerPool) runWindow(limit sim.VTime) {
+	p.limit = limit
+	p.arrived.Store(0)
+	p.round.Add(1)
+	for p.arrived.Load() != uint64(p.workers) {
+		runtime.Gosched()
+	}
+	for w, r := range p.panics {
+		if r != nil {
+			p.stop()
+			panic(fmt.Sprintf("pdes: domain worker %d: %v", w, r))
+		}
+	}
+}
+
+// stop releases the workers one final time with the stopped flag set and
+// waits for them to exit. Idempotent.
+func (p *workerPool) stop() {
+	if p.stopped {
+		return
+	}
+	p.stopped = true
+	p.round.Add(1)
+	p.wg.Wait()
+}
+
+// run is one worker goroutine: wait for a round, run the stripe, report.
+func (p *workerPool) run(w int) {
+	defer p.wg.Done()
+	var seen uint64
+	for {
+		for p.round.Load() == seen {
+			runtime.Gosched()
+		}
+		seen++
+		if p.stopped {
+			return
+		}
+		p.runStripe(w)
+		p.arrived.Add(1)
+	}
+}
+
+// runStripe drains the worker's domains up to the window limit, converting
+// a panic into a recorded value for the coordinator to re-raise.
+func (p *workerPool) runStripe(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics[w] = r
+		}
+	}()
+	for i := w; i < len(p.c.domains); i += p.workers {
+		p.c.domains[i].eng.RunUntil(p.limit)
+	}
+}

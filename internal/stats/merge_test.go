@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillNumericFields sets every settable numeric leaf field of v (recursing
+// into plain structs like Latency) to a distinct non-zero value.
+func fillNumericFields(v reflect.Value, next *uint64) {
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		if !f.CanSet() {
+			continue // unexported: handled explicitly by the test
+		}
+		switch f.Kind() {
+		case reflect.Uint64, reflect.Uint32, reflect.Uint:
+			*next++
+			f.SetUint(*next)
+		case reflect.Int64, reflect.Int32, reflect.Int:
+			*next++
+			f.SetInt(int64(*next))
+		case reflect.Struct:
+			fillNumericFields(f, next)
+		}
+	}
+}
+
+// TestMergeCoversAllFields fills every numeric field of a shard with a
+// distinct value and merges it into a zero Sim: since every counter merge is
+// an add or max with a zero left operand, the merged Sim must reproduce the
+// shard exactly. A field added to Sim but missing from Merge stays zero and
+// fails here by name.
+func TestMergeCoversAllFields(t *testing.T) {
+	shard := NewSim()
+	var next uint64
+	fillNumericFields(reflect.ValueOf(shard).Elem(), &next)
+	if next == 0 {
+		t.Fatal("fillNumericFields found no fields")
+	}
+	shard.DemandMissHist.Add(17)
+	shard.InvalHist.Add(33)
+	shard.Sharing().Record(7, 1)
+	shard.Sharing().Record(7, 2)
+	shard.Sharing().Record(9, 0)
+
+	merged := NewSim()
+	merged.Merge(shard)
+
+	sv := reflect.ValueOf(shard).Elem()
+	mv := reflect.ValueOf(merged).Elem()
+	ty := sv.Type()
+	for i := 0; i < sv.NumField(); i++ {
+		sf, mf := sv.Field(i), mv.Field(i)
+		if !sf.CanSet() {
+			continue
+		}
+		switch sf.Kind() {
+		case reflect.Uint64, reflect.Uint32, reflect.Uint,
+			reflect.Int64, reflect.Int32, reflect.Int, reflect.Struct:
+			if !reflect.DeepEqual(sf.Interface(), mf.Interface()) {
+				t.Errorf("field %s: merge into zero Sim got %v, want %v — is it missing from Sim.Merge?",
+					ty.Field(i).Name, mf.Interface(), sf.Interface())
+			}
+		}
+	}
+	if merged.DemandMissHist.Count() != 1 || merged.DemandMissHist.Max() != 17 {
+		t.Errorf("DemandMissHist not merged: count=%d max=%d",
+			merged.DemandMissHist.Count(), merged.DemandMissHist.Max())
+	}
+	if merged.InvalHist.Count() != 1 || merged.InvalHist.Max() != 33 {
+		t.Errorf("InvalHist not merged: count=%d max=%d",
+			merged.InvalHist.Count(), merged.InvalHist.Max())
+	}
+	if merged.Sharing().Pages() != 2 {
+		t.Errorf("Sharing not merged: pages=%d, want 2", merged.Sharing().Pages())
+	}
+}
+
+// TestMergeAccumulates checks the non-trivial merge semantics: counts add,
+// maxima take the max, histograms combine bucket-wise, sharing masks union.
+func TestMergeAccumulates(t *testing.T) {
+	a, b := NewSim(), NewSim()
+	a.Accesses, b.Accesses = 3, 4
+	a.ExecCycles, b.ExecCycles = 100, 70
+	a.DemandMiss.Add(10)
+	b.DemandMiss.Add(30)
+	a.DemandMissHist.Add(10)
+	b.DemandMissHist.Add(30)
+	a.Sharing().Record(5, 0)
+	b.Sharing().Record(5, 1)
+
+	a.Merge(b)
+	if a.Accesses != 7 {
+		t.Errorf("Accesses = %d, want 7", a.Accesses)
+	}
+	if a.ExecCycles != 100 {
+		t.Errorf("ExecCycles = %d, want max 100", a.ExecCycles)
+	}
+	if a.DemandMiss.Count != 2 || a.DemandMiss.Sum != 40 || a.DemandMiss.Max != 30 {
+		t.Errorf("DemandMiss = %+v, want {2 40 30}", a.DemandMiss)
+	}
+	if a.DemandMissHist.Count() != 2 || a.DemandMissHist.Max() != 30 {
+		t.Errorf("DemandMissHist count=%d max=%d", a.DemandMissHist.Count(), a.DemandMissHist.Max())
+	}
+	dist := a.Sharing().AccessDistribution(4)
+	if dist[2] != 1 {
+		t.Errorf("page 5 should be shared by 2 GPUs after merge: dist=%v", dist)
+	}
+}

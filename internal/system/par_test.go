@@ -1,0 +1,91 @@
+package system
+
+import (
+	"reflect"
+	"testing"
+
+	"idyll/internal/config"
+	"idyll/internal/stats"
+	"idyll/internal/workload"
+)
+
+// runPar runs one small system with the given parallel-engine worker count.
+func runPar(t *testing.T, scheme config.Scheme, workers, accesses int) *stats.Sim {
+	t.Helper()
+	m := smallMachine(4)
+	s := MustNew(m, scheme)
+	s.ParWorkers = workers
+	trace := workload.Generate(smallApp(), 4, m.CUsPerGPU, accesses, 42)
+	st, err := s.Run(trace)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", scheme.Name, workers, err)
+	}
+	return st
+}
+
+// TestParWorkersByteIdentical is the system-level half of the PDES identity
+// contract: the complete measurement set — every counter, histogram bucket,
+// latency accumulator, and sharing record — must be deep-equal between the
+// serial executor and the worker pool, for schemes covering all three domain
+// regimes (multi-domain broadcast traffic, the IRMB drain path, and the
+// single-domain zero-latency collapse). Run under -race in CI, this also
+// proves the pool's memory ordering sound end-to-end.
+func TestParWorkersByteIdentical(t *testing.T) {
+	schemes := []config.Scheme{
+		config.Baseline(), config.IDYLL(), config.ZeroLatency(),
+		config.ReplicationScheme(), config.TransFWScheme(),
+	}
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			serial := runPar(t, sc, 0, 150)
+			for _, workers := range []int{2, 8} {
+				par := runPar(t, sc, workers, 150)
+				if !reflect.DeepEqual(serial, par) {
+					t.Fatalf("workers=%d stats diverge from serial:\nserial: %s\npar:    %s",
+						workers, serial.Summary(), par.Summary())
+				}
+			}
+		})
+	}
+}
+
+// TestCheckTranslationsForcesSerial: the coherence probe reads driver state
+// from GPU-domain callbacks, so it must pin execution to the coordinator
+// goroutine — and still produce the same results.
+func TestCheckTranslationsForcesSerial(t *testing.T) {
+	m := smallMachine(4)
+	s := MustNew(m, config.IDYLL())
+	s.ParWorkers = 8
+	s.CheckTranslations = true
+	trace := workload.Generate(smallApp(), 4, m.CUsPerGPU, 150, 42)
+	st, err := s.Run(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := runPar(t, config.IDYLL(), 0, 150)
+	if st.ExecCycles != plain.ExecCycles || st.Migrations != plain.Migrations {
+		t.Fatalf("checked run diverges: %d/%d cyc, %d/%d migrations",
+			st.ExecCycles, plain.ExecCycles, st.Migrations, plain.Migrations)
+	}
+	if f := s.StaleWindowFraction(); f > 0.01 {
+		t.Fatalf("stale-window fraction %.4f above 1%%", f)
+	}
+}
+
+// TestZeroLatencySchemeCollapsesToOneDomain pins the degenerate layout: the
+// synchronous-invalidation ideal cannot be expressed with conservative
+// windows, so its cluster must be single-domain (and therefore barrier-free).
+func TestZeroLatencySchemeCollapsesToOneDomain(t *testing.T) {
+	s := MustNew(smallMachine(4), config.ZeroLatency())
+	if s.Cluster.NumDomains() != 1 {
+		t.Fatalf("zero-latency cluster has %d domains, want 1", s.Cluster.NumDomains())
+	}
+	s2 := MustNew(smallMachine(4), config.IDYLL())
+	if s2.Cluster.NumDomains() != 5 {
+		t.Fatalf("4-GPU cluster has %d domains, want 5 (GPUs + host)", s2.Cluster.NumDomains())
+	}
+	if s2.Cluster.Lookahead() != 101 {
+		t.Fatalf("lookahead = %d, want 101 (min link propagation + 1)", s2.Cluster.Lookahead())
+	}
+}

@@ -15,60 +15,105 @@ import (
 	"idyll/internal/interconnect"
 	"idyll/internal/memdef"
 	"idyll/internal/sim"
+	"idyll/internal/sim/pdes"
 	"idyll/internal/stats"
 	"idyll/internal/workload"
 )
 
 // System is one assembled machine instance. Build with New, use once.
 type System struct {
-	Engine  *sim.Engine
+	Cluster *pdes.Cluster
 	Machine config.Machine
 	Scheme  config.Scheme
 	Net     *interconnect.Network
 	Driver  *driver.Driver
 	GPUs    []*gpu.GPU
-	Stats   *stats.Sim
+	// Stats is the run's merged measurement set: per-component shards (one
+	// per GPU, one for the driver — each written only by its own
+	// synchronization domain) fold into it in fixed order when the run
+	// completes. Empty until then.
+	Stats *stats.Sim
+
+	// ParWorkers selects the parallel engine: the number of goroutines
+	// executing the cluster's domains (values below 2 run the serial
+	// executor). Results are byte-identical at any setting — it is an
+	// execution knob, never part of result identity (see internal/sim/pdes).
+	ParWorkers int
 
 	// CheckTranslations enables the online correctness probe: every
 	// translation handed to a data access is compared against the host page
 	// table. Mismatches outside a migration window are hard errors;
 	// mismatches while the page migrates (in-flight window) are counted.
+	// The probe reads driver state from GPU callbacks, so it forces the
+	// serial executor regardless of ParWorkers.
 	CheckTranslations bool
 	// ColdStart disables the default affinity pre-placement of pages, so
 	// every page begins in CPU memory and first-touch-migrates on demand.
 	ColdStart      bool
+	shards         []*stats.Sim
 	staleWindow    uint64
 	hardViolations []string
 }
 
 // New builds a system for the given machine and scheme.
+//
+// Domain layout: one synchronization domain per GPU plus one for the
+// host/driver, with lookahead derived from the interconnect — the cheapest
+// link's propagation plus the one serialization cycle every message pays.
+// Zero-latency-invalidation schemes invalidate all GPUs synchronously from
+// the driver's event (lookahead zero), which conservative windows cannot
+// express: those schemes collapse to a single shared domain, where the
+// cluster degenerates to the plain serial engine.
 func New(machine config.Machine, scheme config.Scheme) (*System, error) {
 	if err := machine.Validate(); err != nil {
 		return nil, err
 	}
-	engine := sim.NewEngine()
-	st := stats.NewSim()
-	net := interconnect.NewNetwork(engine, interconnect.Config{
+	numDomains := machine.NumGPUs + 1
+	lookahead := machine.NVLinkLatency
+	if machine.PCIeLatency < lookahead {
+		lookahead = machine.PCIeLatency
+	}
+	lookahead++
+	if scheme.ZeroLatencyInval {
+		numDomains, lookahead = 1, 1
+	}
+	cl := pdes.NewCluster(numDomains, lookahead)
+	hostDom := cl.Domain(numDomains - 1)
+	gpuDom := func(i int) *pdes.Domain {
+		if numDomains == 1 {
+			return cl.Domain(0)
+		}
+		return cl.Domain(i)
+	}
+	// Stats shard per component, not per domain, so the merge — and with it
+	// every output byte — is independent of the domain layout.
+	shards := make([]*stats.Sim, machine.NumGPUs+1)
+	for i := range shards {
+		shards[i] = stats.NewSim()
+	}
+	net := interconnect.NewNetwork(cl, interconnect.Config{
 		NumGPUs:             machine.NumGPUs,
 		NVLinkBytesPerCycle: machine.NVLinkBytesPerCycle,
 		NVLinkLatency:       machine.NVLinkLatency,
 		PCIeBytesPerCycle:   machine.PCIeBytesPerCycle,
 		PCIeLatency:         machine.PCIeLatency,
 	})
-	drv := driver.New(engine, machine, scheme, net, st)
+	drv := driver.New(hostDom, machine, scheme, net, shards[machine.NumGPUs])
 	s := &System{
-		Engine:  engine,
+		Cluster: cl,
 		Machine: machine,
 		Scheme:  scheme,
 		Net:     net,
 		Driver:  drv,
-		Stats:   st,
+		Stats:   stats.NewSim(),
+		shards:  shards,
 	}
 	gpus := make([]*gpu.GPU, machine.NumGPUs)
 	ports := make([]driver.GPUPort, machine.NumGPUs)
 	for i := range gpus {
-		gpus[i] = gpu.New(engine, i, machine, scheme, net, st)
+		gpus[i] = gpu.New(gpuDom(i), i, machine, scheme, net, shards[i])
 		gpus[i].SetHost(drv)
+		gpus[i].SetHostDomain(hostDom)
 		ports[i] = gpus[i]
 	}
 	for i := range gpus {
@@ -95,15 +140,10 @@ func (s *System) Run(trace *workload.Trace) (*stats.Sim, error) {
 	return s.RunCtx(context.Background(), trace)
 }
 
-// runBatchEvents is how many events RunCtx fires between cancellation
-// checks. Large enough that the check is amortized to noise, small enough
-// that a cancelled run stops within milliseconds.
-const runBatchEvents = 8192
-
-// RunCtx is Run with cooperative cancellation: the event loop executes in
-// batches of runBatchEvents and stops between batches once ctx is done,
-// returning ctx.Err(). Cancellation cannot perturb results — a run either
-// completes with output identical to Run's, or returns an error.
+// RunCtx is Run with cooperative cancellation: the cluster stops at the
+// next barrier (or event batch, single-domain) once ctx is done, returning
+// ctx.Err(). Cancellation cannot perturb results — a run either completes
+// with output identical to Run's, or returns an error.
 func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -118,40 +158,56 @@ func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim,
 	if !s.ColdStart {
 		s.preplace(trace)
 	}
-	remaining := len(s.GPUs)
-	var execEnd sim.VTime
 	for i, g := range s.GPUs {
 		g.SetWorkloadShape(trace.Params.ComputeGap, trace.Params.InstrPerAccess)
 		if f := trace.Params.ThresholdFactor; f > 1 {
 			g.SetCounterThreshold(s.Machine.AccessCounterThreshold * f)
 		}
-		gg := g
-		g.Run(trace.Accesses[i], func() {
-			remaining--
-			if gg.DoneAt() > execEnd {
-				execEnd = gg.DoneAt()
-			}
-		})
+		g.Run(trace.Accesses[i], nil)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	for s.Engine.RunBatch(runBatchEvents) {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	workers := s.ParWorkers
+	if s.CheckTranslations {
+		// The probe reads driver state from GPU-domain callbacks; keep all
+		// execution on the coordinator goroutine so those reads stay
+		// race-free and deterministic.
+		workers = 1
+	}
+	if err := s.Cluster.RunCtx(ctx, workers); err != nil {
+		return nil, err
+	}
+	remaining := 0
+	var execEnd, drainedAt sim.VTime
+	for _, g := range s.GPUs {
+		if !g.Finished() {
+			remaining++
+		} else if g.DoneAt() > execEnd {
+			execEnd = g.DoneAt()
+		}
+	}
+	for i := 0; i < s.Cluster.NumDomains(); i++ {
+		if now := s.Cluster.Domain(i).Now(); now > drainedAt {
+			drainedAt = now
 		}
 	}
 	if remaining != 0 {
 		return nil, fmt.Errorf("system: deadlock — %d GPUs never finished (events drained at %d)",
-			remaining, s.Engine.Now())
+			remaining, drainedAt)
 	}
 	if len(s.hardViolations) > 0 {
 		return nil, fmt.Errorf("system: %d translation-coherence violations, first: %s",
 			len(s.hardViolations), s.hardViolations[0])
 	}
+	// Fold the per-component shards in fixed order (GPU 0..N-1, host), then
+	// fill the run-level fields computed from post-run component state.
+	for _, sh := range s.shards {
+		s.Stats.Merge(sh)
+	}
 	s.Stats.ExecCycles = execEnd
 	s.Stats.NVLinkBytes, s.Stats.PCIeBytes = s.Net.TotalBytes()
-	es := s.Engine.Stats()
+	es := s.Cluster.EngineStats()
 	s.Stats.EngineEvents = es.Fired
 	s.Stats.EngineRingScheduled = es.RingScheduled
 	s.Stats.EngineFarScheduled = es.FarScheduled

@@ -3,21 +3,23 @@
 #
 #   scripts/bench.sh run [count]       # run benchmarks, print + save output
 #   scripts/bench.sh check [count]     # run, then gate allocs/op + B/op
-#                                      # against BENCH_PR2.json (wall-clock is
+#                                      # against BENCH_PR6.json (wall-clock is
 #                                      # machine-dependent, so it is NOT gated
 #                                      # against the committed baseline)
-#   scripts/bench.sh record [count]    # run, then rewrite BENCH_PR2.json
+#   scripts/bench.sh record [count]    # run, then rewrite BENCH_PR6.json
 #   scripts/bench.sh compare OLD NEW   # diff two saved bench outputs
 #                                      # (10% ns/op + allocs/op thresholds)
 #
-# The tracked set is the micro-benchmarks plus the two end-to-end throughput
-# benchmarks; see BENCH_PR2.json for the committed baseline and DESIGN.md
-# "Engine internals & profiling" for how these numbers are used.
+# The tracked set is the micro-benchmarks plus the end-to-end throughput
+# benchmarks on both event engines (BenchmarkSuiteFig11Serial vs
+# BenchmarkSuiteFig11PDES8 is the parallel core's single-simulation speedup);
+# see BENCH_PR6.json for the committed baseline and DESIGN.md "Engine
+# internals & profiling" for how these numbers are used.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-PATTERN='^(BenchmarkEventEngine|BenchmarkIRMBInsertLookup|BenchmarkZipfSampling|BenchmarkSimulatePageRank|BenchmarkSuiteFig11Serial)$'
-BASELINE=BENCH_PR2.json
+PATTERN='^(BenchmarkEventEngine|BenchmarkIRMBInsertLookup|BenchmarkZipfSampling|BenchmarkSimulatePageRank|BenchmarkSuiteFig11Serial|BenchmarkSuiteFig11PDES8)$'
+BASELINE=BENCH_PR6.json
 OUT=${BENCH_OUT:-/tmp/idyll_bench.txt}
 
 run_bench() {

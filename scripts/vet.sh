@@ -26,6 +26,10 @@ go vet ./...
 echo "== go vet ./cmd/... ./internal/profiling (explicit, anti-skip) =="
 go vet ./cmd/... ./internal/profiling
 
+# idyllvet covers internal/sim/pdes like the rest of the deterministic
+# core; only the straygoroutine check exempts it (analysis.ConcurrencyBoundary
+# — the one package allowed to own goroutines, with golden-file tests in the
+# analyzer suite pinning the boundary).
 echo "== idyllvet (determinism contract) =="
 go run ./cmd/idyllvet ./...
 
