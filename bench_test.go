@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"idyll"
+	"idyll/internal/checkpoint/store"
 	"idyll/internal/core"
 	"idyll/internal/experiment"
 	"idyll/internal/memdef"
@@ -164,6 +165,46 @@ func benchSuiteFig11(b *testing.B, jobs, par int) {
 	o := benchOptions()
 	o.Jobs = jobs
 	o.Par = par
+	var headline float64
+	for i := 0; i < b.N; i++ {
+		tab, err := experiment.Figure11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		headline, _ = tab.Get("IDYLL", "Ave.")
+	}
+	b.ReportMetric(headline, "idyll-speedup")
+}
+
+// BenchmarkSuiteFig11Warmup and BenchmarkSuiteFig11Checkpointed regenerate
+// the headline matrix with a warmup drain barrier at 80% of the trace
+// (-warmup). Warmup runs the two-phase schedule straight through every time;
+// Checkpointed forks each cell's warmup from a pre-populated checkpoint
+// store, so each regeneration simulates only the post-warmup remainder —
+// the repeated-sweep case the store exists for (parameter studies, idylld
+// re-submissions). Their wall-clock ratio is the warmup-sharing speedup;
+// both render byte-identical tables (CI-enforced).
+func BenchmarkSuiteFig11Warmup(b *testing.B) {
+	benchSuiteFig11Warmup(b, nil)
+}
+
+func BenchmarkSuiteFig11Checkpointed(b *testing.B) {
+	st := store.New(128, "")
+	benchSuiteFig11Warmup(b, st)
+}
+
+func benchSuiteFig11Warmup(b *testing.B, st *store.Store) {
+	o := benchOptions()
+	o.WarmupAccessesPerCU = o.AccessesPerCU * 4 / 5
+	o.CheckpointStore = st
+	if st != nil {
+		// Populate the store once outside the timed region: the benchmark
+		// measures the steady state, where every cell's warmup is a cache hit.
+		if _, err := experiment.Figure11(o); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+	}
 	var headline float64
 	for i := 0; i < b.N; i++ {
 		tab, err := experiment.Figure11(o)

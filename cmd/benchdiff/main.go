@@ -7,9 +7,16 @@
 // repeated runs of the same benchmark (-count=N) collapse to the median, which
 // is what makes the wall-clock comparison usable on shared machines.
 //
+// The comparison table ends with a geomean summary row over the ns/op ratios;
+// -fail-over gates on it, which is the noise-robust wall-clock gate CI uses
+// (one benchmark hitting scheduler noise cannot trip it, a regression across
+// the set can). -min collapses to the per-benchmark minimum instead of the
+// median, for recording baselines.
+//
 //	benchdiff old.txt new.txt                 # compare two bench runs
-//	benchdiff -time -1 BENCH_PR6.json new.txt # allocs-only gate vs baseline
-//	benchdiff -emit BENCH_PR6.json new.txt    # record a baseline, no compare
+//	benchdiff -time -1 BENCH_PR7.json new.txt # allocs-only gate vs baseline
+//	benchdiff -min -emit BENCH_PR7.json new.txt  # record a baseline, no compare
+//	benchdiff -time -1 -fail-over 0.25 old new   # geomean-only wall-clock gate
 //
 // Exit status: 0 clean, 1 regression found, 2 usage/parse error.
 package main
@@ -19,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -47,7 +55,10 @@ func main() {
 		timeTol  = flag.Float64("time", 0.10, "ns/op regression threshold as a fraction; negative disables the time gate")
 		allocTol = flag.Float64("allocs", 0.10, "allocs/op regression threshold as a fraction; negative disables")
 		byteTol  = flag.Float64("bytes", -1, "B/op regression threshold as a fraction; negative disables (report-only)")
+		failOver = flag.Float64("fail-over", -1, "geomean ns/op regression threshold as a fraction; negative disables. Gates on the summary row, so single-benchmark scheduler noise cannot trip it")
+		useMin   = flag.Bool("min", false, "collapse repeated runs to the per-benchmark minimum instead of the median (the least-noise estimate; use when recording baselines)")
 		emit     = flag.String("emit", "", "write NEW as a JSON baseline to this path")
+		note     = flag.String("note", "", "note embedded in the emitted baseline (with -emit); empty keeps the default")
 		require  = flag.Bool("require", false, "fail if a benchmark in OLD is missing from NEW")
 	)
 	flag.Usage = func() {
@@ -57,12 +68,15 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *useMin {
+		collapse = minimum
+	}
 
 	// Record-only mode: one input, written out as the new baseline.
 	if *emit != "" && flag.NArg() == 1 {
 		cur, err := load(flag.Arg(0))
 		fatal(err)
-		fatal(writeBaseline(*emit, cur))
+		fatal(writeBaseline(*emit, cur, *note))
 		fmt.Printf("wrote %s (%d benchmarks)\n", *emit, len(cur))
 		return
 	}
@@ -77,11 +91,11 @@ func main() {
 	fatal(err)
 
 	if *emit != "" {
-		fatal(writeBaseline(*emit, cur))
+		fatal(writeBaseline(*emit, cur, *note))
 		fmt.Printf("wrote %s (%d benchmarks)\n", *emit, len(cur))
 	}
 
-	regressions := report(old, cur, *timeTol, *byteTol, *allocTol, *require)
+	regressions := report(old, cur, *timeTol, *byteTol, *allocTol, *failOver, *require)
 	if regressions > 0 {
 		fmt.Printf("\nFAIL: %d regression(s)\n", regressions)
 		os.Exit(1)
@@ -89,9 +103,13 @@ func main() {
 	fmt.Println("\nok: no regressions")
 }
 
-// report prints the benchstat-style comparison table and returns the number
-// of threshold violations.
-func report(old, cur map[string]Result, timeTol, byteTol, allocTol float64, require bool) int {
+// report prints the benchstat-style comparison table plus a geomean summary
+// row over the ns/op ratios and returns the number of threshold violations.
+// failOver gates on the geomean: the per-benchmark time gate trips on one
+// noisy benchmark, the geomean gate only on a regression broad or deep enough
+// to move the whole tracked set — which is what a CI wall-clock gate on a
+// shared runner must key on.
+func report(old, cur map[string]Result, timeTol, byteTol, allocTol, failOver float64, require bool) int {
 	names := make([]string, 0, len(old))
 	for n := range old {
 		names = append(names, n)
@@ -108,6 +126,7 @@ func report(old, cur map[string]Result, timeTol, byteTol, allocTol float64, requ
 		"ns/op (old→new)", "B/op (old→new)", "allocs/op (old→new)")
 
 	regressions := 0
+	logRatioSum, ratioCount := 0.0, 0
 	for _, n := range names {
 		o := old[n]
 		c, ok := cur[n]
@@ -117,6 +136,10 @@ func report(old, cur map[string]Result, timeTol, byteTol, allocTol float64, requ
 				regressions++
 			}
 			continue
+		}
+		if o.hasNs && c.hasNs && o.NsPerOp > 0 && c.NsPerOp > 0 {
+			logRatioSum += math.Log(c.NsPerOp / o.NsPerOp)
+			ratioCount++
 		}
 		var cols [3]string
 		for i, m := range []struct {
@@ -140,6 +163,16 @@ func report(old, cur map[string]Result, timeTol, byteTol, allocTol float64, requ
 			cols[i] = fmt.Sprintf("%s→%s %s%s", trim(m.o), trim(m.c), delta(m.o, m.c), mark)
 		}
 		fmt.Printf("%-*s  %22s  %22s  %22s\n", w, n, cols[0], cols[1], cols[2])
+	}
+	if ratioCount > 0 {
+		ratio := math.Exp(logRatioSum / float64(ratioCount))
+		mark := ""
+		if failOver >= 0 && ratio > 1+failOver {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-*s  %22s%s\n", w, "geomean (ns/op)",
+			fmt.Sprintf("×%.3f (%+.1f%%)", ratio, (ratio-1)*100), mark)
 	}
 	return regressions
 }
@@ -206,9 +239,12 @@ func loadBaseline(path string) (map[string]Result, error) {
 	return out, nil
 }
 
-func writeBaseline(path string, cur map[string]Result) error {
+func writeBaseline(path string, cur map[string]Result, note string) error {
+	if note == "" {
+		note = "benchmark baseline; compare with `go run ./cmd/benchdiff`, regenerate with scripts/bench.sh record"
+	}
 	b := Baseline{
-		Note:       "benchmark baseline; compare with `go run ./cmd/benchdiff`, regenerate with scripts/bench.sh record",
+		Note:       note,
 		Benchmarks: cur,
 	}
 	data, err := json.MarshalIndent(&b, "", "  ")
@@ -269,17 +305,33 @@ func parseBench(f *os.File) (map[string]Result, error) {
 	for name, s := range samples {
 		var r Result
 		if r.hasNs = len(s.ns) > 0; r.hasNs {
-			r.NsPerOp = median(s.ns)
+			r.NsPerOp = collapse(s.ns)
 		}
 		if r.hasBytes = len(s.bytes) > 0; r.hasBytes {
-			r.BytesPerOp = median(s.bytes)
+			r.BytesPerOp = collapse(s.bytes)
 		}
 		if r.hasAllocs = len(s.allocs) > 0; r.hasAllocs {
-			r.AllocsPerOp = median(s.allocs)
+			r.AllocsPerOp = collapse(s.allocs)
 		}
 		out[name] = r
 	}
 	return out, nil
+}
+
+// collapse reduces one benchmark's repeated-run samples to a single value:
+// the median by default (robust comparison on shared machines), the minimum
+// under -min (a baseline should record the least-interference run, since
+// noise only ever adds time).
+var collapse = median
+
+func minimum(v []float64) float64 {
+	m := v[0]
+	for _, x := range v[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
 }
 
 // normalize strips the trailing -GOMAXPROCS suffix so runs from machines with

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"idyll/internal/checkpoint/store"
 	"idyll/internal/experiment"
 	"idyll/internal/profiling"
 )
@@ -42,6 +43,8 @@ func main() {
 		format   = flag.String("format", "text", "output format: text, csv, json")
 		jobs     = flag.Int("jobs", 0, "concurrent simulation cells (0 = all cores)")
 		par      = flag.Int("par", 0, "parallel-engine workers per cell (<2 = serial engine; results identical)")
+		warmup   = flag.Int("warmup", 0, "warmup accesses per CU before the drain barrier (0 = single-phase run; changes results)")
+		ckptDir  = flag.String("ckpt-dir", "", "persist warmup checkpoints to this directory (with -warmup; empty = memory only)")
 		quiet    = flag.Bool("quiet", false, "suppress the stderr progress display")
 		prof     profiling.Flags
 	)
@@ -81,6 +84,15 @@ func main() {
 	}
 	o.Jobs = *jobs
 	o.Par = *par
+	// The drain barrier is semantic (see experiment.Options), so tables at
+	// -warmup N differ from the default single-phase tables. The store is an
+	// execution knob: with -ckpt-dir, cells fork from cached warmup
+	// checkpoints (byte-identical to the two-phase straight-line run, which
+	// an empty -ckpt-dir keeps; CI diffs the two).
+	o.WarmupAccessesPerCU = *warmup
+	if *warmup > 0 && *ckptDir != "" {
+		o.CheckpointStore = store.New(64, *ckptDir)
+	}
 
 	// Ctrl-C / SIGTERM cancels the suite cooperatively: workers stop at
 	// their next event-loop batch instead of running their cell to the end.

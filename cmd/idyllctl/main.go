@@ -89,13 +89,15 @@ func scaleFlags(fs *flag.FlagSet) func() ([]byte, error) {
 	accesses := fs.Int("accesses", 0, "accesses per CU")
 	seed := fs.Uint64("seed", 0, "workload seed")
 	threshold := fs.Int("threshold", 0, "access-counter threshold")
+	warmup := fs.Int("warmup", 0, "warmup accesses per CU before the drain barrier (semantic: part of the spec hash; lets the daemon share warmup checkpoints)")
 	apps := fs.String("apps", "", "comma-separated app subset")
 	return func() ([]byte, error) {
 		o := experiment.Options{
-			CUsPerGPU:        *cus,
-			AccessesPerCU:    *accesses,
-			Seed:             *seed,
-			CounterThreshold: *threshold,
+			CUsPerGPU:           *cus,
+			AccessesPerCU:       *accesses,
+			Seed:                *seed,
+			CounterThreshold:    *threshold,
+			WarmupAccessesPerCU: *warmup,
 		}
 		if *apps != "" {
 			for _, a := range strings.Split(*apps, ",") {

@@ -40,6 +40,8 @@ func main() {
 		queueDepth   = flag.Int("queue", 64, "accepted-but-not-running job backlog before shedding with 429")
 		cacheEntries = flag.Int("cache-entries", 256, "in-memory result cache size")
 		cacheDir     = flag.String("cache-dir", "", "persist results to this directory (empty = memory only)")
+		ckptEntries  = flag.Int("ckpt-entries", 64, "in-memory warmup-checkpoint cache size")
+		ckptDir      = flag.String("ckpt-dir", "", "persist warmup checkpoints to this directory (empty = memory only)")
 		ttl          = flag.Duration("ttl", 15*time.Minute, "how long finished job records stay queryable")
 		maxBody      = flag.Int64("max-body", 1<<20, "request body size limit in bytes")
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap")
@@ -63,6 +65,8 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheEntries,
 		CacheDir:     *cacheDir,
+		CkptEntries:  *ckptEntries,
+		CkptDir:      *ckptDir,
 		TTL:          *ttl,
 		MaxBodyBytes: *maxBody,
 		JobTimeout:   *jobTimeout,

@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"idyll/internal/checkpoint/store"
 	"idyll/internal/config"
 	"idyll/internal/experiment"
 	"idyll/internal/memdef"
@@ -46,7 +47,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   idylltrace gen  -app <abbr> [-gpus N] [-cus N] [-accesses N] [-seed N] -out FILE
   idylltrace info FILE
-  idylltrace run  [-scheme NAME[,NAME...]|all] [-threshold N] [-jobs N] FILE`)
+  idylltrace run  [-scheme NAME[,NAME...]|all] [-threshold N] [-jobs N] [-warmup N [-ckpt-dir DIR]] FILE`)
 	os.Exit(2)
 }
 
@@ -118,6 +119,8 @@ func cmdRun(args []string) {
 	threshold := fs.Int("threshold", 2, "access-counter threshold")
 	jobs := fs.Int("jobs", 0, "concurrent scheme runs (0 = all cores)")
 	par := fs.Int("par", 0, "parallel-engine workers per run (<2 = serial engine; results identical)")
+	warmup := fs.Int("warmup", 0, "warmup accesses per CU before the drain barrier (0 = single-phase run; changes results)")
+	ckptDir := fs.String("ckpt-dir", "", "cache warmup checkpoints (with -warmup): schemes sharing a warmup fork from it; empty string keeps the per-run two-phase path")
 	quiet := fs.Bool("quiet", false, "suppress the stderr progress display")
 	engineStats := fs.Bool("enginestats", false,
 		"also print the event engine's internal counters per scheme")
@@ -141,7 +144,14 @@ func cmdRun(args []string) {
 	// Each scheme is one cell of the pool; every cell replays the same
 	// loaded trace (read-only during runs), so the sweep parallelizes
 	// without re-reading or regenerating anything.
-	o := experiment.Options{Jobs: *jobs, Par: *par, CounterThreshold: *threshold}
+	o := experiment.Options{Jobs: *jobs, Par: *par, CounterThreshold: *threshold,
+		WarmupAccessesPerCU: *warmup}
+	if *warmup > 0 && *ckptDir != "" {
+		// Fork-from-checkpoint replays byte-identically to the two-phase
+		// straight-line run (CI diffs the two), so the store only changes
+		// wall-clock: a repeated sweep reloads its warmup state from disk.
+		o.CheckpointStore = store.New(64, *ckptDir)
+	}
 	if !*quiet {
 		o.Progress = experiment.ProgressPrinter(os.Stderr, t.Params.Abbr)
 	}

@@ -1,0 +1,207 @@
+// Package store is the concurrent, content-addressed warmup-checkpoint
+// cache: the same LRU + disk-spill + singleflight shape as idylld's
+// whole-job result cache, applied one level down to partial computations.
+// Keys are SHA-256 hex content addresses derived from everything the warmup
+// prefix depends on (format version, machine, scheme, warmup length, and the
+// full trace bytes — see experiment.WarmupKey); values are checkpoint byte
+// streams. The package sits outside the deterministic core on purpose: it
+// owns the mutex, the disk I/O, and the cross-goroutine dedupe, so the codec
+// package underneath can stay pure.
+package store
+
+import (
+	"container/list"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+)
+
+// hashPattern guards file names: only lowercase-hex SHA-256 keys ever touch
+// the disk directory.
+var hashPattern = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Store is a bounded in-memory LRU of checkpoint blobs with optional disk
+// persistence and singleflight computation dedupe. The zero value is not
+// usable; use New. All methods are safe for concurrent use.
+type Store struct {
+	mu       sync.Mutex
+	max      int
+	dir      string // "" disables disk persistence
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	inflight map[string]*flight
+
+	hits     uint64 // served from memory, disk, or a joined in-flight compute
+	misses   uint64 // required a fresh compute
+	diskHits uint64 // subset of hits that came off disk
+}
+
+type entry struct {
+	key  string
+	data []byte
+}
+
+// flight is one in-progress compute that late arrivals wait on.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// New returns a store holding at most maxEntries checkpoints in memory
+// (minimum 1), persisting to dir when non-empty. The directory is created
+// on demand; persisted checkpoints survive process restarts, which is what
+// lets a freshly started idylld serve warmups it computed in a previous
+// life.
+func New(maxEntries int, dir string) *Store {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Store{
+		max:      maxEntries,
+		dir:      dir,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Get returns the checkpoint stored under key, consulting memory first and
+// then disk. A disk hit repopulates the memory tier.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(key)
+}
+
+func (s *Store) getLocked(key string) ([]byte, bool) {
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.hits++
+		return el.Value.(*entry).data, true
+	}
+	if data, ok := s.diskGet(key); ok {
+		s.putLocked(key, data)
+		s.hits++
+		s.diskHits++
+		return data, true
+	}
+	return nil, false
+}
+
+// Put stores data under key in memory and, when configured, on disk.
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	s.putLocked(key, data)
+	s.mu.Unlock()
+	s.diskPut(key, data)
+}
+
+func (s *Store) putLocked(key string, data []byte) {
+	if el, ok := s.entries[key]; ok {
+		el.Value.(*entry).data = data
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[key] = s.order.PushFront(&entry{key: key, data: data})
+	for s.order.Len() > s.max {
+		last := s.order.Back()
+		delete(s.entries, last.Value.(*entry).key)
+		s.order.Remove(last)
+	}
+}
+
+// GetOrCompute returns the checkpoint under key, computing and caching it on
+// a miss. Concurrent callers with the same key share one compute
+// (singleflight): the joiners block until the leader finishes and count as
+// hits, since they paid no simulation time. hit reports whether this call
+// avoided running compute itself. A failed compute is not cached and its
+// error propagates to every waiter.
+func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
+	s.mu.Lock()
+	if data, ok := s.getLocked(key); ok {
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.hits++
+		s.mu.Unlock()
+		<-f.done
+		return f.data, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.misses++
+	s.mu.Unlock()
+
+	f.data, f.err = compute()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		s.putLocked(key, f.data)
+	}
+	s.mu.Unlock()
+	if f.err == nil {
+		s.diskPut(key, f.data)
+	}
+	close(f.done)
+	return f.data, false, f.err
+}
+
+// Len reports the number of checkpoints in the memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Stats reports cumulative hit/miss/disk-hit counters.
+func (s *Store) Stats() (hits, misses, diskHits uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.diskHits
+}
+
+// diskGet loads key from the disk tier. Any failure — no directory, bad
+// key, unreadable file — is a plain miss.
+func (s *Store) diskGet(key string) ([]byte, bool) {
+	if s.dir == "" || !hashPattern.MatchString(key) {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// diskPut writes key atomically (temp file + rename) to the disk tier.
+// Failures are silently dropped: disk persistence is an optimization, never
+// a correctness dependency.
+func (s *Store) diskPut(key string, data []byte) {
+	if s.dir == "" || !hashPattern.MatchString(key) {
+		return
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	os.Rename(tmp.Name(), filepath.Join(s.dir, key))
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// key returns a syntactically valid content address (64 hex chars).
+func key(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestGetOrComputeCachesAndCounts(t *testing.T) {
+	s := New(4, "")
+	computes := 0
+	compute := func() ([]byte, error) {
+		computes++
+		return []byte("blob"), nil
+	}
+	data, hit, err := s.GetOrCompute(key(1), compute)
+	if err != nil || hit || string(data) != "blob" {
+		t.Fatalf("first call: data=%q hit=%v err=%v", data, hit, err)
+	}
+	data, hit, err = s.GetOrCompute(key(1), compute)
+	if err != nil || !hit || string(data) != "blob" {
+		t.Fatalf("second call: data=%q hit=%v err=%v", data, hit, err)
+	}
+	if computes != 1 {
+		t.Fatalf("compute ran %d times", computes)
+	}
+	hits, misses, diskHits := s.Stats()
+	if hits != 1 || misses != 1 || diskHits != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/0", hits, misses, diskHits)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := New(2, "")
+	s.Put(key(1), []byte("a"))
+	s.Put(key(2), []byte("b"))
+	if _, ok := s.Get(key(1)); !ok { // touch 1 → 2 becomes LRU
+		t.Fatal("key 1 missing")
+	}
+	s.Put(key(3), []byte("c")) // evicts 2
+	if _, ok := s.Get(key(2)); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := s.Get(key(1)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestDiskPersistenceAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	first := New(4, dir)
+	first.Put(key(7), []byte("persisted"))
+
+	// A "restarted daemon": a fresh store over the same directory.
+	second := New(4, dir)
+	data, ok := second.Get(key(7))
+	if !ok || string(data) != "persisted" {
+		t.Fatalf("disk tier lost the entry: %q ok=%v", data, ok)
+	}
+	hits, _, diskHits := second.Stats()
+	if hits != 1 || diskHits != 1 {
+		t.Fatalf("stats = hits %d diskHits %d, want 1/1", hits, diskHits)
+	}
+	// The disk hit repopulated memory: a second read must not touch disk.
+	if _, ok := second.Get(key(7)); !ok {
+		t.Fatal("entry missing after repopulation")
+	}
+	if _, _, diskHits := second.Stats(); diskHits != 1 {
+		t.Fatalf("second read went to disk (diskHits %d)", diskHits)
+	}
+}
+
+// An eviction from the bounded memory tier must not lose a disk-backed entry.
+func TestEvictionFallsBackToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1, dir)
+	s.Put(key(1), []byte("one"))
+	s.Put(key(2), []byte("two")) // evicts 1 from memory, not from disk
+	data, ok := s.Get(key(1))
+	if !ok || string(data) != "one" {
+		t.Fatal("evicted entry not recovered from disk")
+	}
+}
+
+// Keys that are not content addresses must never become file names.
+func TestDiskRejectsNonHashKeys(t *testing.T) {
+	dir := t.TempDir()
+	s := New(1, dir)
+	s.Put("../escape", []byte("x"))
+	s.Put("UPPER"+key(1)[5:], []byte("y"))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("non-hash key reached disk: %v", entries[0].Name())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "..", "escape")); err == nil {
+		t.Fatal("path traversal escaped the cache directory")
+	}
+}
+
+// Concurrent GetOrCompute calls for one key share a single compute; the
+// joiners count as hits.
+func TestSingleflight(t *testing.T) {
+	s := New(4, "")
+	const waiters = 8
+	gate := make(chan struct{})
+	var computes int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, err := s.GetOrCompute(key(9), func() ([]byte, error) {
+				computes++ // leader-only; the gate serializes entry
+				<-gate
+				return []byte("once"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	// Let every goroutine reach the store before releasing the leader. The
+	// joiners may or may not arrive before the leader finishes, so only the
+	// compute count is asserted, not the exact hit split.
+	close(gate)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times under contention", computes)
+	}
+	hits, misses, _ := s.Stats()
+	if misses != 1 || hits != waiters-1 {
+		t.Fatalf("stats = %d hits %d misses, want %d/1", hits, misses, waiters-1)
+	}
+}
+
+// A failed compute propagates its error and caches nothing.
+func TestComputeErrorNotCached(t *testing.T) {
+	s := New(4, "")
+	boom := errors.New("boom")
+	if _, _, err := s.GetOrCompute(key(3), func() ([]byte, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := s.Get(key(3)); ok {
+		t.Fatal("failed compute was cached")
+	}
+	data, hit, err := s.GetOrCompute(key(3), func() ([]byte, error) {
+		return []byte("recovered"), nil
+	})
+	if err != nil || hit || string(data) != "recovered" {
+		t.Fatalf("retry after failure: data=%q hit=%v err=%v", data, hit, err)
+	}
+}
+
+func TestNewClampsMaxEntries(t *testing.T) {
+	s := New(0, "")
+	s.Put(key(1), []byte("a"))
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Put(key(2), []byte("b"))
+	if s.Len() != 1 {
+		t.Fatal("clamped store grew past one entry")
+	}
+}
+
+func TestDiskFilesAreContentAddresses(t *testing.T) {
+	dir := t.TempDir()
+	s := New(4, dir)
+	s.Put(key(5), []byte("x"))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || !strings.EqualFold(entries[0].Name(), key(5)) {
+		t.Fatalf("unexpected disk contents: %v", entries)
+	}
+}

@@ -1,0 +1,39 @@
+package datapath
+
+import "idyll/internal/checkpoint"
+
+// Checkpoint support: the per-CU L1 caches and the shared L2 carry their
+// line contents (with dirty bits) in recency order. Hit/miss statistics
+// accumulate in the shared stats.Sim shard, serialized at the system level.
+
+func encLine(w *checkpoint.Writer, ln uint64, st lineState) {
+	w.U64(ln)
+	w.Bool(st.dirty)
+}
+
+func decLine(r *checkpoint.Reader) (uint64, lineState) {
+	ln := r.U64()
+	return ln, lineState{dirty: r.Bool()}
+}
+
+// SaveState writes the hierarchy's cache contents to w.
+func (h *Hierarchy) SaveState(w *checkpoint.Writer) {
+	w.Int(len(h.l1))
+	for _, c := range h.l1 {
+		c.SaveState(w, encLine)
+	}
+	h.l2.SaveState(w, encLine)
+}
+
+// RestoreState reads the state written by SaveState into h, which must have
+// the same geometry.
+func (h *Hierarchy) RestoreState(r *checkpoint.Reader) {
+	if n := r.Int(); n != len(h.l1) {
+		r.Failf("datapath: %d L1 caches in checkpoint, %d configured", n, len(h.l1))
+		return
+	}
+	for _, c := range h.l1 {
+		c.RestoreState(r, decLine)
+	}
+	h.l2.RestoreState(r, decLine)
+}

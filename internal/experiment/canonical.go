@@ -20,6 +20,10 @@ type canonicalOptions struct {
 	Seed             uint64   `json:"seed"`
 	Apps             []string `json:"apps,omitempty"`
 	CounterThreshold int      `json:"counter_threshold"`
+	// omitempty: the default (no warmup phase) encodes to the same bytes as
+	// before the field existed, so all pre-existing canonical hashes — and
+	// the result caches keyed by them — remain valid.
+	WarmupAccessesPerCU int `json:"warmup_accesses_per_cu,omitempty"`
 }
 
 // Canonical validates o and returns a normalized copy suitable for hashing:
@@ -36,10 +40,11 @@ func (o Options) Canonical() (Options, error) {
 	}
 	def := DefaultOptions()
 	c := Options{
-		CUsPerGPU:        o.CUsPerGPU,
-		AccessesPerCU:    o.AccessesPerCU,
-		Seed:             o.Seed,
-		CounterThreshold: o.CounterThreshold,
+		CUsPerGPU:           o.CUsPerGPU,
+		AccessesPerCU:       o.AccessesPerCU,
+		Seed:                o.Seed,
+		CounterThreshold:    o.CounterThreshold,
+		WarmupAccessesPerCU: o.WarmupAccessesPerCU,
 	}
 	if c.CUsPerGPU == 0 {
 		c.CUsPerGPU = def.CUsPerGPU
@@ -88,6 +93,9 @@ func (o Options) validateFinite() error {
 	if err := checkInt("CounterThreshold", o.CounterThreshold); err != nil {
 		return err
 	}
+	if err := checkInt("WarmupAccessesPerCU", o.WarmupAccessesPerCU); err != nil {
+		return err
+	}
 	if err := checkInt("Jobs", o.Jobs); err != nil {
 		return err
 	}
@@ -108,11 +116,12 @@ func (o Options) CanonicalJSON() ([]byte, error) {
 		return nil, err
 	}
 	return json.Marshal(canonicalOptions{
-		CUsPerGPU:        c.CUsPerGPU,
-		AccessesPerCU:    c.AccessesPerCU,
-		Seed:             c.Seed,
-		Apps:             c.Apps,
-		CounterThreshold: c.CounterThreshold,
+		CUsPerGPU:           c.CUsPerGPU,
+		AccessesPerCU:       c.AccessesPerCU,
+		Seed:                c.Seed,
+		Apps:                c.Apps,
+		CounterThreshold:    c.CounterThreshold,
+		WarmupAccessesPerCU: c.WarmupAccessesPerCU,
 	})
 }
 
@@ -125,11 +134,12 @@ func OptionsFromCanonicalJSON(raw []byte) (Options, error) {
 		return Options{}, fmt.Errorf("experiment: options JSON: %w", err)
 	}
 	o := Options{
-		CUsPerGPU:        c.CUsPerGPU,
-		AccessesPerCU:    c.AccessesPerCU,
-		Seed:             c.Seed,
-		Apps:             c.Apps,
-		CounterThreshold: c.CounterThreshold,
+		CUsPerGPU:           c.CUsPerGPU,
+		AccessesPerCU:       c.AccessesPerCU,
+		Seed:                c.Seed,
+		Apps:                c.Apps,
+		CounterThreshold:    c.CounterThreshold,
+		WarmupAccessesPerCU: c.WarmupAccessesPerCU,
 	}
 	return o.Canonical()
 }

@@ -16,9 +16,9 @@ import (
 	"sort"
 	"strings"
 
+	"idyll/internal/checkpoint/store"
 	"idyll/internal/config"
 	"idyll/internal/stats"
-	"idyll/internal/system"
 	"idyll/internal/workload"
 )
 
@@ -56,6 +56,22 @@ type Options struct {
 	// prefer Jobs when a pass has many cells, Par when a single large cell
 	// dominates wall-clock.
 	Par int
+	// WarmupAccessesPerCU, when positive, splits every run into two phases:
+	// each CU executes its first WarmupAccessesPerCU accesses, the system
+	// drains to a barrier, and the remainder runs from there. The drain
+	// barrier is part of the simulated schedule, so this is a *semantic*
+	// parameter — results at W>0 differ from W=0 — and it is part of result
+	// identity (canonical field warmup_accesses_per_cu). Its payoff: the
+	// post-warmup state is checkpointable, so sweep cells sharing a warmup
+	// prefix can fork from one cached checkpoint (see CheckpointStore).
+	WarmupAccessesPerCU int
+	// CheckpointStore, when non-nil and WarmupAccessesPerCU is positive,
+	// caches warmup checkpoints content-addressed by WarmupKey, so repeated
+	// or concurrent runs sharing a warmup prefix compute it once. Forking
+	// from the store is byte-identical to running straight through
+	// (CI-enforced), so like Jobs/Par it is an execution knob, never part of
+	// result identity.
+	CheckpointStore *store.Store
 	// Progress, when non-nil, is called after each cell a runner pass
 	// completes, with the finished count, the pass total, and a
 	// "figure app/scheme" label. Calls are serialized, never concurrent.
@@ -127,13 +143,8 @@ func RunParams(machine config.Machine, scheme config.Scheme, app workload.Params
 	if o.CounterThreshold > 0 {
 		m.AccessCounterThreshold = o.CounterThreshold
 	}
-	s, err := system.New(m, scheme)
-	if err != nil {
-		return nil, err
-	}
-	s.ParWorkers = o.Par
 	trace := workload.Generate(app, m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
-	return s.RunCtx(o.Context(), trace)
+	return runSystem(o, m, scheme, trace)
 }
 
 // Table is a named grid of results: one row per series (scheme), one column

@@ -15,7 +15,6 @@ import (
 
 	"idyll/internal/config"
 	"idyll/internal/stats"
-	"idyll/internal/system"
 	"idyll/internal/workload"
 )
 
@@ -160,6 +159,9 @@ func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
 		if co.ctx == nil { // per-cell options inherit the pass's context
 			co.ctx = o.ctx
 		}
+		if co.CheckpointStore == nil { // execution knob, inherited like the context
+			co.CheckpointStore = o.CheckpointStore
+		}
 	}
 	if spec.Trace != nil {
 		m := spec.Machine
@@ -168,12 +170,7 @@ func runCell(spec CellSpec, o Options) (*stats.Sim, error) {
 		if co.CounterThreshold > 0 {
 			m.AccessCounterThreshold = co.CounterThreshold
 		}
-		s, err := system.New(m, spec.Scheme)
-		if err != nil {
-			return nil, err
-		}
-		s.ParWorkers = co.Par
-		return s.RunCtx(co.Context(), spec.Trace)
+		return runSystem(co, m, spec.Scheme, spec.Trace)
 	}
 	co.Seed = CellSeed(co.Seed, spec.Figure, spec.App)
 	if spec.Params != nil {

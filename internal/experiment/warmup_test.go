@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"idyll/internal/checkpoint/store"
+	"idyll/internal/config"
+	"idyll/internal/workload"
+)
+
+// A warmup run forked from the checkpoint store must produce results
+// identical to the same run executed straight through.
+func TestWarmupStoreMatchesStraightLine(t *testing.T) {
+	o := QuickOptions()
+	o.WarmupAccessesPerCU = 50
+	o.Apps = []string{"PR"}
+	m := config.Default()
+
+	straight, err := Run(m, config.IDYLL(), "PR", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(8, "")
+	o.CheckpointStore = st
+	forked, err := Run(m, config.IDYLL(), "PR", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(straight, forked) {
+		t.Fatalf("forked run diverges:\nstraight: %+v\nforked:   %+v", straight, forked)
+	}
+	hits, misses, _ := st.Stats()
+	if hits != 0 || misses != 1 {
+		t.Fatalf("first run: %d hits, %d misses; want 0/1", hits, misses)
+	}
+	// A second identical run reuses the warmup checkpoint.
+	again, err := Run(m, config.IDYLL(), "PR", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(straight, again) {
+		t.Fatal("cached-warmup run diverges")
+	}
+	hits, misses, _ = st.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("second run: %d hits, %d misses; want 1/1", hits, misses)
+	}
+}
+
+// Different schemes share nothing: the warmup state depends on the scheme, so
+// each gets its own checkpoint.
+func TestWarmupKeySeparatesSchemes(t *testing.T) {
+	o := QuickOptions()
+	m := config.Default()
+	m.CUsPerGPU = o.CUsPerGPU
+	trace := workload.Generate(mustApp(t, "PR"), m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
+	a := WarmupKey(m, config.Baseline(), 50, trace)
+	b := WarmupKey(m, config.IDYLL(), 50, trace)
+	c := WarmupKey(m, config.IDYLL(), 60, trace)
+	if a == b || b == c || a == c {
+		t.Fatalf("warmup keys collide: %s %s %s", a, b, c)
+	}
+	if b != WarmupKey(m, config.IDYLL(), 50, trace) {
+		t.Fatal("warmup key is not deterministic")
+	}
+}
+
+// ThresholdFactor scales the access-counter threshold at run time but is not
+// carried by tracefile.Save, so the key must separate traces differing only
+// in it.
+func TestWarmupKeyIncludesThresholdFactor(t *testing.T) {
+	o := QuickOptions()
+	m := config.Default()
+	m.CUsPerGPU = o.CUsPerGPU
+	p := mustApp(t, "PR")
+	t1 := workload.Generate(p, m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
+	t2 := workload.Generate(p, m.NumGPUs, m.CUsPerGPU, o.AccessesPerCU, o.Seed)
+	t2.Params.ThresholdFactor = 4
+	if WarmupKey(m, config.IDYLL(), 50, t1) == WarmupKey(m, config.IDYLL(), 50, t2) {
+		t.Fatal("keys collide across ThresholdFactor values")
+	}
+}
+
+// The default (no warmup) must encode to the exact canonical bytes of the
+// pre-warmup format, preserving every existing content-addressed result.
+func TestCanonicalJSONOmitsZeroWarmup(t *testing.T) {
+	raw, err := DefaultOptions().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("warmup")) {
+		t.Fatalf("zero warmup leaked into canonical JSON: %s", raw)
+	}
+	o := DefaultOptions()
+	o.WarmupAccessesPerCU = 100
+	raw, err = o.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"warmup_accesses_per_cu":100`)) {
+		t.Fatalf("warmup missing from canonical JSON: %s", raw)
+	}
+	back, err := OptionsFromCanonicalJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.WarmupAccessesPerCU != 100 {
+		t.Fatalf("round-trip lost warmup: %+v", back)
+	}
+}
+
+func mustApp(t *testing.T, abbr string) workload.Params {
+	t.Helper()
+	p, err := workload.App(abbr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

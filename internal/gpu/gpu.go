@@ -206,6 +206,7 @@ func (g *GPU) device() memdef.DeviceID { return memdef.GPUDevice(g.ID) }
 // Run starts executing a per-CU trace; onDone fires when every CU has
 // retired its last access.
 func (g *GPU) Run(trace [][]workload.Access, onDone func()) {
+	g.running, g.finished = 0, false
 	g.trace = trace
 	g.cuNext = make([]int, len(trace))
 	g.onDone = onDone

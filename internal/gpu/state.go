@@ -1,0 +1,140 @@
+package gpu
+
+import (
+	"sort"
+
+	"idyll/internal/checkpoint"
+	"idyll/internal/memdef"
+	"idyll/internal/sim"
+)
+
+// Checkpoint support. A GPU at a quiescent point has no access in flight
+// (the MSHR's own SaveState asserts it), so its state is the translation and
+// data structures plus the per-page bookkeeping maps. Maps are serialized in
+// ascending VPN order so the byte stream is deterministic. Optional
+// components (IRMB, PRT, remote-access engine) are presence-gated: the flag
+// in the stream must agree with the scheme the restoring system was built
+// from, which the content-addressed checkpoint key guarantees.
+
+func sortedVPNs[V any](m map[memdef.VPN]V) []memdef.VPN {
+	vpns := make([]memdef.VPN, 0, len(m))
+	for vpn := range m {
+		vpns = append(vpns, vpn)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	return vpns
+}
+
+// SaveState writes the GPU's full architectural state to w.
+func (g *GPU) SaveState(w *checkpoint.Writer) {
+	w.Int(len(g.l1tlbs))
+	for _, t := range g.l1tlbs {
+		t.SaveState(w)
+	}
+	g.l2tlb.SaveState(w)
+	g.mshr.SaveState(w)
+	g.gmmu.SaveState(w)
+	g.data.SaveState(w)
+
+	w.Bool(g.irmb != nil)
+	if g.irmb != nil {
+		g.irmb.SaveState(w)
+	}
+	w.Bool(g.prt != nil)
+	if g.prt != nil {
+		g.prt.SaveState(w)
+	}
+	w.Bool(g.remoteService != nil)
+	if g.remoteService != nil {
+		g.remoteService.SaveState(w)
+	}
+
+	w.U32(uint32(len(g.counters)))
+	for _, vpn := range sortedVPNs(g.counters) {
+		w.U64(uint64(vpn))
+		w.Int(g.counters[vpn])
+	}
+	w.U32(uint32(len(g.irmbReceipt)))
+	for _, vpn := range sortedVPNs(g.irmbReceipt) {
+		w.U64(uint64(vpn))
+		w.I64(int64(g.irmbReceipt[vpn]))
+	}
+	w.U32(uint32(len(g.pendingWB)))
+	for _, vpn := range sortedVPNs(g.pendingWB) {
+		w.U64(uint64(vpn))
+	}
+	w.U32(uint32(len(g.shotDown)))
+	for _, vpn := range sortedVPNs(g.shotDown) {
+		w.U64(uint64(vpn))
+	}
+	w.U32(uint32(len(g.invalEpoch)))
+	for _, vpn := range sortedVPNs(g.invalEpoch) {
+		w.U64(uint64(vpn))
+		w.U32(g.invalEpoch[vpn])
+	}
+	w.I64(int64(g.doneAt))
+}
+
+// RestoreState reads the state written by SaveState into g, which must be
+// freshly constructed from the same machine and scheme.
+func (g *GPU) RestoreState(r *checkpoint.Reader) {
+	if n := r.Int(); n != len(g.l1tlbs) {
+		r.Failf("gpu: %d L1 TLBs in checkpoint, %d configured", n, len(g.l1tlbs))
+		return
+	}
+	for _, t := range g.l1tlbs {
+		t.RestoreState(r)
+	}
+	g.l2tlb.RestoreState(r)
+	g.mshr.RestoreState(r)
+	g.gmmu.RestoreState(r)
+	g.data.RestoreState(r)
+
+	if has := r.Bool(); has != (g.irmb != nil) {
+		r.Failf("gpu: IRMB presence %v in checkpoint, %v configured", has, g.irmb != nil)
+		return
+	}
+	if g.irmb != nil {
+		g.irmb.RestoreState(r)
+	}
+	if has := r.Bool(); has != (g.prt != nil) {
+		r.Failf("gpu: PRT presence %v in checkpoint, %v configured", has, g.prt != nil)
+		return
+	}
+	if g.prt != nil {
+		g.prt.RestoreState(r)
+	}
+	if has := r.Bool(); has != (g.remoteService != nil) {
+		r.Failf("gpu: remote-engine presence %v in checkpoint, %v configured",
+			has, g.remoteService != nil)
+		return
+	}
+	if g.remoteService != nil {
+		g.remoteService.RestoreState(r)
+	}
+
+	clear(g.counters)
+	for i, n := 0, r.Count(16); i < n && r.Err() == nil; i++ {
+		vpn := memdef.VPN(r.U64())
+		g.counters[vpn] = r.Int()
+	}
+	clear(g.irmbReceipt)
+	for i, n := 0, r.Count(16); i < n && r.Err() == nil; i++ {
+		vpn := memdef.VPN(r.U64())
+		g.irmbReceipt[vpn] = sim.VTime(r.I64())
+	}
+	clear(g.pendingWB)
+	for i, n := 0, r.Count(8); i < n && r.Err() == nil; i++ {
+		g.pendingWB[memdef.VPN(r.U64())] = true
+	}
+	clear(g.shotDown)
+	for i, n := 0, r.Count(8); i < n && r.Err() == nil; i++ {
+		g.shotDown[memdef.VPN(r.U64())] = true
+	}
+	clear(g.invalEpoch)
+	for i, n := 0, r.Count(12); i < n && r.Err() == nil; i++ {
+		vpn := memdef.VPN(r.U64())
+		g.invalEpoch[vpn] = r.U32()
+	}
+	g.doneAt = sim.VTime(r.I64())
+}

@@ -188,6 +188,9 @@ func (c *Client) Figure(ctx context.Context, name string, o experiment.Options) 
 	if o.CounterThreshold > 0 {
 		q.Set("threshold", fmt.Sprint(o.CounterThreshold))
 	}
+	if o.WarmupAccessesPerCU > 0 {
+		q.Set("warmup", fmt.Sprint(o.WarmupAccessesPerCU))
+	}
 	if len(o.Apps) > 0 {
 		q.Set("apps", strings.Join(o.Apps, ","))
 	}

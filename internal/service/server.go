@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"idyll/internal/checkpoint/store"
 	"idyll/internal/experiment"
 )
 
@@ -34,6 +35,14 @@ type Config struct {
 	// CacheDir, when non-empty, persists results on disk so cache contents
 	// survive restarts.
 	CacheDir string
+	// CkptEntries sizes the in-memory warmup-checkpoint LRU (default 64).
+	// Checkpoints are full machine states, orders of magnitude larger than
+	// result payloads, so the default is smaller than CacheEntries.
+	CkptEntries int
+	// CkptDir, when non-empty, persists warmup checkpoints on disk so a
+	// restarted daemon serves warmups computed in a previous life. Ignored
+	// when Runner is injected.
+	CkptDir string
 	// TTL is how long finished job records stay queryable (default 15m);
 	// cached results are unaffected — only the job-ID records expire.
 	TTL time.Duration
@@ -58,6 +67,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 256
 	}
+	if c.CkptEntries <= 0 {
+		c.CkptEntries = 64
+	}
 	if c.TTL <= 0 {
 		c.TTL = 15 * time.Minute
 	}
@@ -67,9 +79,8 @@ func (c Config) withDefaults() Config {
 	if c.JobTimeout <= 0 {
 		c.JobTimeout = 10 * time.Minute
 	}
-	if c.Runner == nil {
-		c.Runner = RunSpecPar(c.Par)
-	}
+	// Runner's default is filled in NewServer, not here: the production
+	// RunFunc closes over the server's warmup-checkpoint store.
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -82,6 +93,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	cache   *ResultCache
+	ckpt    *store.Store // warmup checkpoints, shared by every job
 	metrics *Metrics
 	mux     *http.ServeMux
 
@@ -109,10 +121,15 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	ckpt := store.New(cfg.CkptEntries, cfg.CkptDir)
+	if cfg.Runner == nil {
+		cfg.Runner = RunSpecWith(cfg.Par, ckpt)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:        cfg,
 		cache:      cache,
+		ckpt:       ckpt,
 		metrics:    NewMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -507,7 +524,7 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 }
 
 // optionsFromQuery assembles canonical-options JSON from ?cus=&accesses=&
-// seed=&threshold=&apps= query parameters.
+// seed=&threshold=&warmup=&apps= query parameters.
 func optionsFromQuery(r *http.Request) (json.RawMessage, error) {
 	q := r.URL.Query()
 	o := experiment.Options{}
@@ -527,6 +544,7 @@ func optionsFromQuery(r *http.Request) (json.RawMessage, error) {
 	o.CUsPerGPU = geti("cus")
 	o.AccessesPerCU = geti("accesses")
 	o.CounterThreshold = geti("threshold")
+	o.WarmupAccessesPerCU = geti("warmup")
 	if v := q.Get("seed"); v != "" && err == nil {
 		o.Seed, err = strconv.ParseUint(v, 10, 64)
 		if err != nil {
@@ -577,12 +595,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Set("cache_hits", hits)
 	s.metrics.Set("cache_misses", misses)
 	s.metrics.Set("cache_disk_hits", diskHits)
+	ckptHits, ckptMisses, ckptDiskHits := s.ckpt.Stats()
+	s.metrics.Set("ckpt_hits", ckptHits)
+	s.metrics.Set("ckpt_misses", ckptMisses)
+	s.metrics.Set("ckpt_disk_hits", ckptDiskHits)
 	s.mu.Lock()
 	gauges := map[string]int{
 		"queue_depth":   len(s.queue),
 		"jobs_inflight": s.running,
 		"jobs_tracked":  len(s.jobs),
 		"cache_entries": s.cache.Len(),
+		"ckpt_entries":  s.ckpt.Len(),
 	}
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -148,8 +148,28 @@ func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim,
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if err := s.prepare(trace); err != nil {
+		return nil, err
+	}
+	for i, g := range s.GPUs {
+		g.Run(trace.Accesses[i], nil)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.drain(ctx); err != nil {
+		return nil, err
+	}
+	return s.finalize()
+}
+
+// prepare validates the trace against the machine, installs the optional
+// correctness probe, pre-places pages, and configures the per-GPU workload
+// shape. Called once per run (twice is harmless: pre-placement maps the same
+// pages to the same owners, shape setting is idempotent).
+func (s *System) prepare(trace *workload.Trace) error {
 	if trace.NumGPUs != s.Machine.NumGPUs {
-		return nil, fmt.Errorf("system: trace has %d GPUs, machine has %d",
+		return fmt.Errorf("system: trace has %d GPUs, machine has %d",
 			trace.NumGPUs, s.Machine.NumGPUs)
 	}
 	if s.CheckTranslations {
@@ -158,16 +178,25 @@ func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim,
 	if !s.ColdStart {
 		s.preplace(trace)
 	}
-	for i, g := range s.GPUs {
+	s.setShape(trace)
+	return nil
+}
+
+// setShape configures the issue gap, instruction scaling, and counter
+// threshold on every GPU from the trace's workload parameters. These fields
+// are derived from (machine, trace) rather than checkpointed, so a resumed
+// system re-applies them before running the remainder.
+func (s *System) setShape(trace *workload.Trace) {
+	for _, g := range s.GPUs {
 		g.SetWorkloadShape(trace.Params.ComputeGap, trace.Params.InstrPerAccess)
 		if f := trace.Params.ThresholdFactor; f > 1 {
 			g.SetCounterThreshold(s.Machine.AccessCounterThreshold * f)
 		}
-		g.Run(trace.Accesses[i], nil)
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+}
+
+// drain runs the cluster until every scheduled event has fired.
+func (s *System) drain(ctx context.Context) error {
 	workers := s.ParWorkers
 	if s.CheckTranslations {
 		// The probe reads driver state from GPU-domain callbacks; keep all
@@ -175,9 +204,12 @@ func (s *System) RunCtx(ctx context.Context, trace *workload.Trace) (*stats.Sim,
 		// race-free and deterministic.
 		workers = 1
 	}
-	if err := s.Cluster.RunCtx(ctx, workers); err != nil {
-		return nil, err
-	}
+	return s.Cluster.RunCtx(ctx, workers)
+}
+
+// finalize checks for deadlock and coherence violations, folds the
+// per-component stats shards, and fills the run-level fields.
+func (s *System) finalize() (*stats.Sim, error) {
 	remaining := 0
 	var execEnd, drainedAt sim.VTime
 	for _, g := range s.GPUs {

@@ -1,0 +1,40 @@
+package transfw
+
+import "idyll/internal/checkpoint"
+
+// Checkpoint support: the FIFO order is behaviour-visible (displacement
+// picks the oldest fingerprint), so entries are carried verbatim oldest
+// first.
+
+// SaveState writes the PRT's fingerprints and counters to w.
+func (p *PRT) SaveState(w *checkpoint.Writer) {
+	w.Int(p.capacity)
+	w.U32(uint32(len(p.fifo)))
+	for _, e := range p.fifo {
+		w.U16(e.fp)
+		w.U8(uint8(e.gpu))
+	}
+	w.U64(p.lookups)
+	w.U64(p.hits)
+}
+
+// RestoreState reads the state written by SaveState into p, which must have
+// the same capacity.
+func (p *PRT) RestoreState(r *checkpoint.Reader) {
+	if c := r.Int(); c != p.capacity {
+		r.Failf("transfw: PRT capacity %d in checkpoint, %d configured", c, p.capacity)
+		return
+	}
+	n := r.Count(3)
+	if n > p.capacity {
+		r.Failf("transfw: PRT checkpoint holds %d entries, capacity %d", n, p.capacity)
+		return
+	}
+	p.fifo = p.fifo[:0]
+	for i := 0; i < n; i++ {
+		e := entry{fp: r.U16(), gpu: int8(r.U8())}
+		p.fifo = append(p.fifo, e)
+	}
+	p.lookups = r.U64()
+	p.hits = r.U64()
+}

@@ -150,13 +150,16 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 			if n > 1<<28 {
 				return nil, fmt.Errorf("workload: implausible access count %d", n)
 			}
-			cu := make([]Access, n)
-			for i := range cu {
+			// Grow incrementally rather than pre-allocating n entries: a
+			// corrupt count field passing the plausibility check could
+			// otherwise demand gigabytes before the stream runs dry.
+			cu := make([]Access, 0, min(int(n), 4096))
+			for i := 0; i < int(n); i++ {
 				var v uint64
 				if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
 					return nil, err
 				}
-				cu[i] = Access{VA: memdef.VAddr(v &^ writeBit), Write: v&writeBit != 0}
+				cu = append(cu, Access{VA: memdef.VAddr(v &^ writeBit), Write: v&writeBit != 0})
 			}
 			t.Accesses[g][c] = cu
 		}

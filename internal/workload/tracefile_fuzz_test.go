@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzReadTrace drives the trace decoder with arbitrary bytes: it must
+// reject or accept without panicking or over-allocating, and anything it
+// accepts must re-encode canonically (save → read → save is a fixed point).
+func FuzzReadTrace(f *testing.F) {
+	p, err := App("KM")
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Generate(p, 2, 2, 30, 7).Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])           // truncated mid-record
+	f.Add([]byte("NOPE...."))             // wrong magic
+	f.Add([]byte("IDYT\xff\xff\xff\xff")) // unsupported version
+	f.Add(overflowHeader())               // huge access count, no data behind it
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		var first bytes.Buffer
+		if err := tr.Save(&first); err != nil {
+			t.Fatalf("accepted trace fails to save: %v", err)
+		}
+		back, err := ReadTrace(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of saved trace fails: %v", err)
+		}
+		var second bytes.Buffer
+		if err := back.Save(&second); err != nil {
+			t.Fatalf("second save fails: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("save → read → save is not a fixed point")
+		}
+	})
+}
+
+// overflowHeader builds a syntactically valid header whose single CU claims
+// an enormous access count with no data behind it — the length-field
+// overflow shape the decoder must fail on without a giant allocation.
+func overflowHeader() []byte {
+	var b bytes.Buffer
+	b.WriteString(traceMagic)
+	u32 := func(v uint32) { binary.Write(&b, binary.LittleEndian, v) }
+	u32(traceVersion)
+	u32(100)     // gap
+	u32(4)       // instr/access
+	u32(0)       // name length
+	u32(1)       // GPUs
+	u32(1)       // CUs
+	u32(1 << 27) // accesses: plausible-looking, nothing follows
+	return b.Bytes()
+}
+
+// A generated trace of any app and shape must survive Save → ReadTrace with
+// its access stream and issue-shape parameters intact, and re-saving must
+// reproduce the bytes exactly.
+func TestTraceSaveReadRoundTripAllApps(t *testing.T) {
+	shapes := []struct{ gpus, cus, accesses int }{
+		{1, 1, 5}, {2, 3, 40}, {4, 2, 17},
+	}
+	for _, abbr := range AppAbbrs() {
+		p, err := App(abbr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sh := range shapes {
+			orig := Generate(p, sh.gpus, sh.cus, sh.accesses, 11)
+			var saved bytes.Buffer
+			if err := orig.Save(&saved); err != nil {
+				t.Fatalf("%s %+v: save: %v", abbr, sh, err)
+			}
+			got, err := ReadTrace(bytes.NewReader(saved.Bytes()))
+			if err != nil {
+				t.Fatalf("%s %+v: read: %v", abbr, sh, err)
+			}
+			if got.NumGPUs != orig.NumGPUs ||
+				got.Params.Abbr != orig.Params.Abbr ||
+				got.Params.ComputeGap != orig.Params.ComputeGap ||
+				got.Params.InstrPerAccess != orig.Params.InstrPerAccess {
+				t.Fatalf("%s %+v: header diverged: %+v", abbr, sh, got.Params)
+			}
+			for g := range orig.Accesses {
+				for c := range orig.Accesses[g] {
+					for i, a := range orig.Accesses[g][c] {
+						if got.Accesses[g][c][i] != a {
+							t.Fatalf("%s %+v: access gpu%d cu%d i%d diverged", abbr, sh, g, c, i)
+						}
+					}
+				}
+			}
+			var again bytes.Buffer
+			if err := got.Save(&again); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(saved.Bytes(), again.Bytes()) {
+				t.Fatalf("%s %+v: re-save not byte-identical", abbr, sh)
+			}
+		}
+	}
+}
