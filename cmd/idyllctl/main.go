@@ -8,15 +8,22 @@
 //	idyllctl submit -wait -app PR -scheme idyll             # submit + wait
 //	idyllctl figure fig11 -cus 4 -accesses 200              # synchronous figure
 //	idyllctl metrics                                        # daemon counters
+//	idyllctl fleet                                          # fleet membership
+//	idyllctl -tenant alice submit -figure fig11             # tagged submission
 //
 // The server address comes from -server or the IDYLLD_ADDR environment
-// variable (default http://127.0.0.1:8080).
+// variable (default http://127.0.0.1:8080). -tenant (or IDYLL_TENANT) tags
+// every request with X-Idyll-Tenant for fair-share scheduling and
+// per-tenant accounting; pointing -server at a fleet coordinator makes
+// every command transparently fleet-wide.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -25,16 +32,18 @@ import (
 	"time"
 
 	"idyll/internal/experiment"
+	"idyll/internal/fleet"
 	"idyll/internal/service"
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  idyllctl [-server URL] submit [-wait] (-figure ID | -app ABBR -scheme NAME) [scale flags]
+  idyllctl [-server URL] [-tenant NAME] submit [-wait] (-figure ID | -app ABBR -scheme NAME) [scale flags]
   idyllctl [-server URL] status JOB_ID
   idyllctl [-server URL] wait JOB_ID
-  idyllctl [-server URL] figure ID [scale flags]
+  idyllctl [-server URL] [-tenant NAME] figure ID [scale flags]
   idyllctl [-server URL] metrics
+  idyllctl [-server URL] fleet
 
 scale flags: -cus N -accesses N -seed N -threshold N -apps A,B -timeout DURATION`)
 	os.Exit(2)
@@ -42,6 +51,7 @@ scale flags: -cus N -accesses N -seed N -threshold N -apps A,B -timeout DURATION
 
 func main() {
 	server := flag.String("server", "", "daemon base URL (default $IDYLLD_ADDR or http://127.0.0.1:8080)")
+	tenant := flag.String("tenant", "", "tenant name sent as X-Idyll-Tenant (default $IDYLL_TENANT)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -58,7 +68,15 @@ func main() {
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	c := service.NewClient(base)
+	ten := *tenant
+	if ten == "" {
+		ten = os.Getenv("IDYLL_TENANT")
+	}
+	var copts []service.ClientOption
+	if ten != "" {
+		copts = append(copts, service.WithTenant(ten))
+	}
+	c := service.NewClient(base, copts...)
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
@@ -76,6 +94,8 @@ func main() {
 		cmdFigure(ctx, c, args[1:])
 	case "metrics":
 		cmdMetrics(ctx, c)
+	case "fleet":
+		cmdFleet(ctx, c)
 	default:
 		fmt.Fprintf(os.Stderr, "idyllctl: unknown command %q\n", args[0])
 		usage()
@@ -214,6 +234,35 @@ func cmdMetrics(ctx context.Context, c *service.Client) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Printf("%s %g\n", name, m[name])
+	}
+}
+
+func cmdFleet(ctx context.Context, c *service.Client) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.Base()+"/v1/fleet/status", nil)
+	fatal(err)
+	resp, err := http.DefaultClient.Do(req)
+	fatal(err)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		fatal(fmt.Errorf("%s is not a fleet coordinator (no /v1/fleet/status)", c.Base()))
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("fleet status: HTTP %d", resp.StatusCode))
+	}
+	var st fleet.StatusResponse
+	fatal(json.NewDecoder(resp.Body).Decode(&st))
+
+	fmt.Printf("protocol:    %s\n", st.Version)
+	fmt.Printf("queue depth: %d\n", st.QueueDepth)
+	fmt.Printf("copysets:    %d tracked\n", st.Copysets)
+	fmt.Printf("workers:     %d\n", len(st.Workers))
+	for _, w := range st.Workers {
+		line := fmt.Sprintf("  %-12s %-9s %s", w.ID, w.State, w.URL)
+		if w.Fails > 0 {
+			line += fmt.Sprintf("  (%d consecutive probe failures)", w.Fails)
+		}
+		fmt.Println(line)
 	}
 }
 

@@ -10,13 +10,28 @@
 //	idylld -addr 127.0.0.1:0 -addr-file a   # random port, written to file
 //	idylld -cache-dir /var/cache/idyll      # persist results across restarts
 //
+// Fleet mode shards the service across machines (see docs/API.md):
+//
+//	idylld -worker -fleet-id w1 -addr :8081          # one fleet worker
+//	idylld -worker -fleet-id w2 -addr :8082
+//	idylld -coordinator -fleet-workers \
+//	    w1=http://host1:8081,w2=http://host2:8082    # the front door
+//
+// A worker pulls results and warmup checkpoints from its peers before
+// recomputing (peer cache fill); the coordinator routes jobs by rendezvous
+// hashing over the spec's content address, replicates results, schedules
+// tenants by weighted fair share, and serves a fleet-wide /metrics rollup.
+//
 // SIGTERM/SIGINT drains gracefully: submissions answer 503, queued and
 // in-flight jobs finish (or are cancelled after -drain-timeout), the HTTP
-// listener closes, and the process exits 0. See docs/API.md for the API.
+// listener closes, and the process exits 0. A draining worker keeps serving
+// its peer cache endpoints so the rest of the fleet can absorb its results.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -25,9 +40,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"idyll/internal/fleet"
 	"idyll/internal/service"
 )
 
@@ -47,34 +65,40 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits before cancelling in-flight jobs")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+
+		// Fleet: worker side.
+		workerMode = flag.Bool("worker", false, "run as a fleet worker (peer cache fill enabled)")
+		fleetID    = flag.String("fleet-id", "", "stable fleet member name (required with -worker)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs to seed peer cache fill")
+		selfURL    = flag.String("self-url", "", "this worker's externally reachable base URL (default http://<bound addr>)")
+		joinURL    = flag.String("join", "", "coordinator base URL to announce this worker to at startup")
+		tenantMax  = flag.Int("tenant-queue-max", 0, "per-tenant queued-job cap (0 = no cap)")
+
+		// Fleet: coordinator side.
+		coordMode     = flag.Bool("coordinator", false, "run as the fleet coordinator (routes jobs to workers)")
+		fleetWorkers  = flag.String("fleet-workers", "", "comma-separated id=url worker list for -coordinator")
+		tenantWeights = flag.String("tenant-weights", "", "comma-separated tenant=weight fair-share weights")
+		tenantQuota   = flag.Int("tenant-quota", 0, "per-tenant queued-job cap at the coordinator (0 = no cap)")
+		replicas      = flag.Int("replicas", 2, "result copyset size the coordinator replicates toward")
+		probeEvery    = flag.Duration("probe-interval", time.Second, "worker heartbeat cadence")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "idylld: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
+	if *coordMode && *workerMode {
+		fmt.Fprintln(os.Stderr, "idylld: -coordinator and -worker are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workerMode && *fleetID == "" {
+		fmt.Fprintln(os.Stderr, "idylld: -worker requires -fleet-id")
+		os.Exit(2)
+	}
 
 	logf := log.New(os.Stderr, "idylld: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
-	}
-
-	srv, err := service.NewServer(service.Config{
-		Workers:      *workers,
-		Par:          *par,
-		QueueDepth:   *queueDepth,
-		CacheEntries: *cacheEntries,
-		CacheDir:     *cacheDir,
-		CkptEntries:  *ckptEntries,
-		CkptDir:      *ckptDir,
-		TTL:          *ttl,
-		MaxBodyBytes: *maxBody,
-		JobTimeout:   *jobTimeout,
-		Logf:         logf,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "idylld:", err)
-		os.Exit(1)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -89,11 +113,98 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	logf("listening on %s (workers=%d queue=%d cache=%d dir=%q)",
-		bound, *workers, *queueDepth, *cacheEntries, *cacheDir)
+
+	// drain is invoked once on SIGTERM/SIGINT; handler serves the API.
+	var handler http.Handler
+	var drain func(context.Context) error
+
+	switch {
+	case *coordMode:
+		addrs, err := parseFleetWorkers(*fleetWorkers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idylld:", err)
+			os.Exit(2)
+		}
+		weights, err := parseTenantWeights(*tenantWeights)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idylld:", err)
+			os.Exit(2)
+		}
+		coord, err := fleet.NewCoordinator(fleet.Config{
+			Workers:       addrs,
+			TenantWeights: weights,
+			TenantQuota:   *tenantQuota,
+			QueueDepth:    *queueDepth,
+			Replicas:      *replicas,
+			ProbeInterval: *probeEvery,
+			CacheEntries:  *cacheEntries,
+			CacheDir:      *cacheDir,
+			Logf:          logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idylld:", err)
+			os.Exit(1)
+		}
+		handler = coord.Handler()
+		drain = coord.Drain
+		logf("coordinator listening on %s (%s, %d workers, replicas=%d)",
+			bound, fleet.VersionString, len(addrs), *replicas)
+
+	default:
+		cfg := service.Config{
+			Workers:        *workers,
+			Par:            *par,
+			QueueDepth:     *queueDepth,
+			TenantQueueMax: *tenantMax,
+			CacheEntries:   *cacheEntries,
+			CacheDir:       *cacheDir,
+			CkptEntries:    *ckptEntries,
+			CkptDir:        *ckptDir,
+			TTL:            *ttl,
+			MaxBodyBytes:   *maxBody,
+			JobTimeout:     *jobTimeout,
+			Logf:           logf,
+		}
+		if *workerMode {
+			self := *selfURL
+			if self == "" {
+				self = "http://" + bound
+			}
+			filler := fleet.NewFiller(self, splitNonEmpty(*peers))
+			cfg.PeerFill = filler.ResultFill
+			cfg.CkptFill = filler.CkptFill
+			cfg.OnPeers = filler.UpdatePeers
+			cfg.FleetID = *fleetID
+			cfg.FleetVersion = fleet.VersionString
+		}
+		srv, err := service.NewServer(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idylld:", err)
+			os.Exit(1)
+		}
+		handler = srv.Handler()
+		drain = srv.Drain
+		if *workerMode {
+			logf("worker %s listening on %s (%s)", *fleetID, bound, fleet.VersionString)
+			if *joinURL != "" {
+				self := *selfURL
+				if self == "" {
+					self = "http://" + bound
+				}
+				if err := announce(*joinURL, *fleetID, self); err != nil {
+					logf("join %s: %v (coordinator can still add this worker statically)", *joinURL, err)
+				} else {
+					logf("joined fleet at %s", *joinURL)
+				}
+			}
+		} else {
+			logf("listening on %s (workers=%d queue=%d cache=%d dir=%q)",
+				bound, *workers, *queueDepth, *cacheEntries, *cacheDir)
+		}
+	}
 
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	serveErr := make(chan error, 1)
@@ -111,10 +222,10 @@ func main() {
 
 	// Graceful drain: stop accepting jobs first (so in-flight HTTP requests
 	// observe 503 rather than connection resets), let work finish, then
-	// close the listener.
+	// close the listener. Peer cache endpoints serve until the very end.
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	if err := srv.Drain(drainCtx); err != nil {
+	if err := drain(drainCtx); err != nil {
 		logf("drain: in-flight jobs cancelled: %v", err)
 	} else {
 		logf("drained cleanly")
@@ -125,6 +236,75 @@ func main() {
 		logf("http shutdown: %v", err)
 	}
 	logf("exit")
+}
+
+// announce POSTs a fleet join request to the coordinator.
+func announce(coordinator, id, self string) error {
+	body, err := json.Marshal(fleet.JoinRequest{ID: id, URL: self, Version: fleet.VersionString})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(coordinator, "/")+"/v1/fleet/join", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("join: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// parseFleetWorkers decodes "w1=http://host:port,w2=..." into worker
+// addresses.
+func parseFleetWorkers(s string) ([]fleet.WorkerAddr, error) {
+	var out []fleet.WorkerAddr
+	for _, part := range splitNonEmpty(s) {
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("idylld: -fleet-workers entry %q, want id=url", part)
+		}
+		out = append(out, fleet.WorkerAddr{ID: id, URL: url})
+	}
+	return out, nil
+}
+
+// parseTenantWeights decodes "alice=3,bob=1" into fair-share weights.
+func parseTenantWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range splitNonEmpty(s) {
+		name, val, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("idylld: -tenant-weights entry %q, want tenant=weight", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("idylld: -tenant-weights %q: weight must be a positive number", part)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // writeAddrFile writes the bound address atomically so a watcher (the CI

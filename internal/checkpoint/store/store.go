@@ -32,9 +32,22 @@ type Store struct {
 	order    *list.List // front = most recently used
 	inflight map[string]*flight
 
-	hits     uint64 // served from memory, disk, or a joined in-flight compute
-	misses   uint64 // required a fresh compute
-	diskHits uint64 // subset of hits that came off disk
+	hits       uint64 // served from memory, disk, remote fill, or a joined in-flight compute
+	misses     uint64 // required a fresh compute
+	diskHits   uint64 // subset of hits that came off disk
+	remoteHits uint64 // subset of hits filled from a peer via the remote hook
+
+	// remoteFill, when non-nil, is consulted by GetOrCompute after a memory
+	// and disk miss, before compute runs. It is called WITHOUT the store
+	// lock (it does network I/O); a successful fill is cached locally like
+	// a computed value. Get never consults it, so a peer serving its cache
+	// over HTTP cannot recurse into its own remote hook.
+	remoteFill func(key string) ([]byte, bool)
+
+	// testDiskDelay, when non-nil, runs at the top of every disk read and
+	// write — the injected slow disk the race tests use to widen the
+	// window between the memory tier and the disk tier.
+	testDiskDelay func()
 }
 
 type entry struct {
@@ -67,8 +80,18 @@ func New(maxEntries int, dir string) *Store {
 	}
 }
 
+// SetRemoteFill installs the fetch-from-peer hook GetOrCompute consults
+// after a local (memory + disk) miss, before recomputing. Install it before
+// the store sees traffic; the hook must be safe for concurrent use.
+func (s *Store) SetRemoteFill(fill func(key string) ([]byte, bool)) {
+	s.mu.Lock()
+	s.remoteFill = fill
+	s.mu.Unlock()
+}
+
 // Get returns the checkpoint stored under key, consulting memory first and
-// then disk. A disk hit repopulates the memory tier.
+// then disk — never the remote-fill hook, so serving peers stays local.
+// A disk hit repopulates the memory tier.
 func (s *Store) Get(key string) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,9 +138,13 @@ func (s *Store) putLocked(key string, data []byte) {
 // GetOrCompute returns the checkpoint under key, computing and caching it on
 // a miss. Concurrent callers with the same key share one compute
 // (singleflight): the joiners block until the leader finishes and count as
-// hits, since they paid no simulation time. hit reports whether this call
-// avoided running compute itself. A failed compute is not cached and its
-// error propagates to every waiter.
+// hits, since they paid no simulation time. When a remote-fill hook is
+// installed (SetRemoteFill), the leader tries it after the local miss and
+// before computing — a fleet worker fetches a peer's warmup checkpoint
+// rather than re-simulating the warmup; joiners share the filled bytes like
+// any other flight. hit reports whether this call avoided running compute
+// itself (local hit, joined flight, or remote fill). A failed compute is
+// not cached and its error propagates to every waiter.
 func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data []byte, hit bool, err error) {
 	s.mu.Lock()
 	if data, ok := s.getLocked(key); ok {
@@ -132,13 +159,27 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data [
 	}
 	f := &flight{done: make(chan struct{})}
 	s.inflight[key] = f
-	s.misses++
+	remote := s.remoteFill
 	s.mu.Unlock()
 
-	f.data, f.err = compute()
+	filled := false
+	if remote != nil {
+		if data, ok := remote(key); ok {
+			f.data, filled = data, true
+		}
+	}
+	if !filled {
+		f.data, f.err = compute()
+	}
 
 	s.mu.Lock()
 	delete(s.inflight, key)
+	if filled {
+		s.hits++
+		s.remoteHits++
+	} else {
+		s.misses++
+	}
 	if f.err == nil {
 		s.putLocked(key, f.data)
 	}
@@ -147,7 +188,7 @@ func (s *Store) GetOrCompute(key string, compute func() ([]byte, error)) (data [
 		s.diskPut(key, f.data)
 	}
 	close(f.done)
-	return f.data, false, f.err
+	return f.data, filled, f.err
 }
 
 // Len reports the number of checkpoints in the memory tier.
@@ -157,11 +198,12 @@ func (s *Store) Len() int {
 	return s.order.Len()
 }
 
-// Stats reports cumulative hit/miss/disk-hit counters.
-func (s *Store) Stats() (hits, misses, diskHits uint64) {
+// Stats reports cumulative hit/miss/disk-hit/remote-hit counters. Disk and
+// remote hits are subsets of hits.
+func (s *Store) Stats() (hits, misses, diskHits, remoteHits uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.hits, s.misses, s.diskHits
+	return s.hits, s.misses, s.diskHits, s.remoteHits
 }
 
 // diskGet loads key from the disk tier. Any failure — no directory, bad
@@ -169,6 +211,9 @@ func (s *Store) Stats() (hits, misses, diskHits uint64) {
 func (s *Store) diskGet(key string) ([]byte, bool) {
 	if s.dir == "" || !hashPattern.MatchString(key) {
 		return nil, false
+	}
+	if s.testDiskDelay != nil {
+		s.testDiskDelay()
 	}
 	data, err := os.ReadFile(filepath.Join(s.dir, key))
 	if err != nil {
@@ -183,6 +228,9 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 func (s *Store) diskPut(key string, data []byte) {
 	if s.dir == "" || !hashPattern.MatchString(key) {
 		return
+	}
+	if s.testDiskDelay != nil {
+		s.testDiskDelay()
 	}
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return

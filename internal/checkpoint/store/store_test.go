@@ -33,7 +33,7 @@ func TestGetOrComputeCachesAndCounts(t *testing.T) {
 	if computes != 1 {
 		t.Fatalf("compute ran %d times", computes)
 	}
-	hits, misses, diskHits := s.Stats()
+	hits, misses, diskHits, _ := s.Stats()
 	if hits != 1 || misses != 1 || diskHits != 0 {
 		t.Fatalf("stats = %d/%d/%d, want 1/1/0", hits, misses, diskHits)
 	}
@@ -69,7 +69,7 @@ func TestDiskPersistenceAcrossRestarts(t *testing.T) {
 	if !ok || string(data) != "persisted" {
 		t.Fatalf("disk tier lost the entry: %q ok=%v", data, ok)
 	}
-	hits, _, diskHits := second.Stats()
+	hits, _, diskHits, _ := second.Stats()
 	if hits != 1 || diskHits != 1 {
 		t.Fatalf("stats = hits %d diskHits %d, want 1/1", hits, diskHits)
 	}
@@ -77,7 +77,7 @@ func TestDiskPersistenceAcrossRestarts(t *testing.T) {
 	if _, ok := second.Get(key(7)); !ok {
 		t.Fatal("entry missing after repopulation")
 	}
-	if _, _, diskHits := second.Stats(); diskHits != 1 {
+	if _, _, diskHits, _ := second.Stats(); diskHits != 1 {
 		t.Fatalf("second read went to disk (diskHits %d)", diskHits)
 	}
 }
@@ -142,7 +142,7 @@ func TestSingleflight(t *testing.T) {
 	if computes != 1 {
 		t.Fatalf("compute ran %d times under contention", computes)
 	}
-	hits, misses, _ := s.Stats()
+	hits, misses, _, _ := s.Stats()
 	if misses != 1 || hits != waiters-1 {
 		t.Fatalf("stats = %d hits %d misses, want %d/1", hits, misses, waiters-1)
 	}

@@ -31,7 +31,7 @@ func TestWarmupStoreMatchesStraightLine(t *testing.T) {
 	if !reflect.DeepEqual(straight, forked) {
 		t.Fatalf("forked run diverges:\nstraight: %+v\nforked:   %+v", straight, forked)
 	}
-	hits, misses, _ := st.Stats()
+	hits, misses, _, _ := st.Stats()
 	if hits != 0 || misses != 1 {
 		t.Fatalf("first run: %d hits, %d misses; want 0/1", hits, misses)
 	}
@@ -43,7 +43,7 @@ func TestWarmupStoreMatchesStraightLine(t *testing.T) {
 	if !reflect.DeepEqual(straight, again) {
 		t.Fatal("cached-warmup run diverges")
 	}
-	hits, misses, _ = st.Stats()
+	hits, misses, _, _ = st.Stats()
 	if hits != 1 || misses != 1 {
 		t.Fatalf("second run: %d hits, %d misses; want 1/1", hits, misses)
 	}

@@ -1,0 +1,107 @@
+package fleet
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Copysets tracks which workers are believed to hold the result for each
+// spec hash — the coordinator's memory of where bytes live, maintained from
+// dispatch outcomes and replication pushes. Hints derived from it ride on
+// X-Idyll-Copyset so a worker seeing a hash for the first time can pull the
+// result from a peer instead of recomputing. The tracker is advisory by
+// design: a stale entry costs one failed peer probe before the worker falls
+// back to computing, so bounded LRU truncation is safe.
+type Copysets struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently touched
+}
+
+type csEntry struct {
+	hash    string
+	holders []string // worker IDs, insertion order
+}
+
+// NewCopysets returns a tracker remembering at most maxEntries hashes
+// (minimum 1).
+func NewCopysets(maxEntries int) *Copysets {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	return &Copysets{
+		max:     maxEntries,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Add records that worker id holds the result for hash.
+func (c *Copysets) Add(hash, id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		e := el.Value.(*csEntry)
+		for _, h := range e.holders {
+			if h == id {
+				c.order.MoveToFront(el)
+				return
+			}
+		}
+		e.holders = append(e.holders, id)
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&csEntry{hash: hash, holders: []string{id}})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		delete(c.entries, last.Value.(*csEntry).hash)
+		c.order.Remove(last)
+	}
+}
+
+// Holders returns the worker IDs believed to hold hash, in insertion order
+// (the computing worker first, replicas after).
+func (c *Copysets) Holders(hash string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(el)
+	return append([]string(nil), el.Value.(*csEntry).holders...)
+}
+
+// DropWorker removes a dead worker from every copyset — its cache is gone,
+// so hinting peers at it would only waste their fill probes.
+func (c *Copysets) DropWorker(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var empty []*list.Element
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*csEntry)
+		kept := e.holders[:0]
+		for _, h := range e.holders {
+			if h != id {
+				kept = append(kept, h)
+			}
+		}
+		e.holders = kept
+		if len(kept) == 0 {
+			empty = append(empty, el)
+		}
+	}
+	for _, el := range empty {
+		delete(c.entries, el.Value.(*csEntry).hash)
+		c.order.Remove(el)
+	}
+}
+
+// Len reports how many hashes are tracked.
+func (c *Copysets) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,156 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+
+	"idyll/internal/service"
+)
+
+// FairQueue is a weighted fair-share job backlog implementing
+// service.JobQueue — the scheduler the coordinator injects in place of the
+// default FIFO. It runs stride scheduling over per-tenant FIFOs: each
+// tenant carries a virtual time that advances by 1/weight per dispatched
+// job, and Pop always serves the non-empty tenant with the smallest virtual
+// time (ties break toward the lexically smaller tenant name, keeping the
+// schedule deterministic). A tenant with weight 3 therefore gets three
+// dispatch slots for every one a weight-1 tenant gets while both have work
+// queued, and an idle tenant's unused share is redistributed rather than
+// banked: on re-activation its virtual time is clamped forward to the
+// queue's clock, so it cannot starve the others with accumulated credit.
+//
+// Admission control is two-level, shedding with errors that unwrap to
+// service.ErrQueueFull (HTTP 429): a global depth bound, and an optional
+// per-tenant quota that stops one tenant from occupying the whole backlog
+// no matter its weight.
+type FairQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	max    int
+	quota  int // per-tenant queued cap; 0 = none
+	weight map[string]float64
+	ten    map[string]*tenantQ
+	size   int
+	clock  float64 // virtual time of the most recent dispatch
+	closed bool
+}
+
+type tenantQ struct {
+	items []any
+	vtime float64
+}
+
+// NewFairQueue returns a fair-share backlog holding at most max items
+// (minimum 1) with at most quota items per tenant (0 disables the quota).
+// weights maps tenant name → relative share; missing or non-positive
+// entries default to 1.
+func NewFairQueue(max, quota int, weights map[string]float64) *FairQueue {
+	if max < 1 {
+		max = 1
+	}
+	q := &FairQueue{
+		max:    max,
+		quota:  quota,
+		weight: weights,
+		ten:    make(map[string]*tenantQ),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *FairQueue) weightOf(tenant string) float64 {
+	if w, ok := q.weight[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// Push admits one item under tenant, shedding when the queue or the
+// tenant's quota is full.
+func (q *FairQueue) Push(tenant string, item any) error {
+	if tenant == "" {
+		tenant = service.DefaultTenant
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return service.ErrQueueFull
+	}
+	if q.size >= q.max {
+		return service.ErrQueueFull
+	}
+	tq := q.ten[tenant]
+	if tq == nil {
+		tq = &tenantQ{}
+		q.ten[tenant] = tq
+	}
+	if q.quota > 0 && len(tq.items) >= q.quota {
+		return &service.TenantQuotaError{Tenant: tenant, Queued: len(tq.items)}
+	}
+	if len(tq.items) == 0 && tq.vtime < q.clock {
+		// Re-activating after idleness: no banked credit.
+		tq.vtime = q.clock
+	}
+	tq.items = append(tq.items, item)
+	q.size++
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks for the next item under the fair-share schedule.
+func (q *FairQueue) Pop(ctx context.Context) (any, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.size > 0 {
+			name, tq := q.pickLocked()
+			item := tq.items[0]
+			tq.items = tq.items[1:]
+			q.size--
+			q.clock = tq.vtime
+			tq.vtime += 1 / q.weightOf(name)
+			return item, true
+		}
+		if q.closed || ctx.Err() != nil {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// pickLocked selects the non-empty tenant with the smallest virtual time.
+func (q *FairQueue) pickLocked() (string, *tenantQ) {
+	var bestName string
+	var best *tenantQ
+	for name, tq := range q.ten {
+		if len(tq.items) == 0 {
+			continue
+		}
+		if best == nil || tq.vtime < best.vtime ||
+			(tq.vtime == best.vtime && name < bestName) {
+			bestName, best = name, tq
+		}
+	}
+	return bestName, best
+}
+
+// Close stops admissions; queued items continue to drain through Pop.
+func (q *FairQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Len reports the total queued item count.
+func (q *FairQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.size
+}

@@ -1,0 +1,135 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"idyll/internal/service"
+)
+
+func TestFairQueueWeightedShares(t *testing.T) {
+	q := NewFairQueue(100, 0, map[string]float64{"alice": 3, "bob": 1})
+	for i := 0; i < 20; i++ {
+		if err := q.Push("alice", "a"); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Push("bob", "b"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// While both tenants have work queued, a 3:1 weight ratio must yield a
+	// 3:1 dispatch ratio over any window that is a multiple of 4.
+	counts := map[string]int{}
+	for i := 0; i < 16; i++ {
+		item, ok := q.Pop(context.Background())
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		counts[item.(string)]++
+	}
+	if counts["a"] != 12 || counts["b"] != 4 {
+		t.Fatalf("dispatch split = %v, want a:12 b:4", counts)
+	}
+}
+
+func TestFairQueueEqualWeightsAlternate(t *testing.T) {
+	q := NewFairQueue(100, 0, nil)
+	for i := 0; i < 6; i++ {
+		q.Push("x", "x")
+		q.Push("y", "y")
+	}
+	var seq string
+	for i := 0; i < 12; i++ {
+		item, _ := q.Pop(context.Background())
+		seq += item.(string)
+	}
+	if seq != "xyxyxyxyxyxy" {
+		t.Fatalf("equal-weight schedule = %q, want strict alternation", seq)
+	}
+}
+
+func TestFairQueueNoBankedCredit(t *testing.T) {
+	q := NewFairQueue(100, 0, nil)
+	// bob works alone for a while, advancing his virtual time.
+	for i := 0; i < 8; i++ {
+		q.Push("bob", "b")
+		q.Pop(context.Background())
+	}
+	// alice arrives late: she must NOT get 8 consecutive slots of "credit"
+	// for her idle period — her vtime clamps forward to the queue clock.
+	for i := 0; i < 4; i++ {
+		q.Push("alice", "a")
+		q.Push("bob", "b")
+	}
+	var seq string
+	for i := 0; i < 8; i++ {
+		item, _ := q.Pop(context.Background())
+		seq += item.(string)
+	}
+	// alice's clamped vtime lands mid-stride, giving her exactly one extra
+	// leading slot before strict alternation (the trailing b drains bob's
+	// last item after alice's four are spent) — crucially NOT an 8-slot
+	// burst of banked credit.
+	if seq != "aabababb" {
+		t.Fatalf("late-arriving tenant schedule = %q, want aabababb", seq)
+	}
+}
+
+func TestFairQueueGlobalBoundSheds(t *testing.T) {
+	q := NewFairQueue(2, 0, nil)
+	q.Push("t", 1)
+	q.Push("t", 2)
+	err := q.Push("t", 3)
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestFairQueueTenantQuotaSheds(t *testing.T) {
+	q := NewFairQueue(100, 2, nil)
+	q.Push("greedy", 1)
+	q.Push("greedy", 2)
+	err := q.Push("greedy", 3)
+	var qe *service.TenantQuotaError
+	if !errors.As(err, &qe) || qe.Tenant != "greedy" {
+		t.Fatalf("err = %v, want TenantQuotaError for greedy", err)
+	}
+	if !errors.Is(err, service.ErrQueueFull) {
+		t.Fatal("quota error must unwrap to ErrQueueFull (429 mapping)")
+	}
+	// Other tenants are unaffected by one tenant's quota.
+	if err := q.Push("modest", 1); err != nil {
+		t.Fatalf("unrelated tenant shed: %v", err)
+	}
+}
+
+func TestFairQueueCloseDrains(t *testing.T) {
+	q := NewFairQueue(10, 0, nil)
+	q.Push("t", "queued-before-close")
+	q.Close()
+	if err := q.Push("t", "late"); !errors.Is(err, service.ErrQueueFull) {
+		t.Fatalf("push after close = %v, want ErrQueueFull", err)
+	}
+	item, ok := q.Pop(context.Background())
+	if !ok || item != "queued-before-close" {
+		t.Fatalf("queued item lost on close: %v %v", item, ok)
+	}
+	if _, ok := q.Pop(context.Background()); ok {
+		t.Fatal("Pop returned an item from a drained closed queue")
+	}
+}
+
+func TestFairQueuePopRespectsContext(t *testing.T) {
+	q := NewFairQueue(10, 0, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, ok := q.Pop(ctx); ok {
+		t.Fatal("Pop fabricated an item")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Pop ignored context cancellation")
+	}
+}

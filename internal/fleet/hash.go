@@ -1,0 +1,44 @@
+package fleet
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"sort"
+)
+
+// Rank orders worker IDs by preference for the given content-address key
+// using rendezvous (highest-random-weight) hashing: each worker scores
+// sha256(id NUL key) and the ranking is the descending score order. The
+// properties the fleet needs all fall out of this one function:
+//
+//   - deterministic: every coordinator replica computes the same ranking
+//     for the same key and member set, with no shared routing table;
+//   - minimal disruption: removing a worker only re-routes the keys that
+//     ranked it first — every other key keeps its preferred worker, so
+//     warm caches stay warm across membership churn;
+//   - a built-in fail-over order: the second-ranked worker is the natural
+//     re-route target and the first replication target.
+//
+// The input slice is not modified; ties (impossible in practice for
+// distinct IDs) break toward the lexically smaller ID for determinism.
+func Rank(key string, ids []string) []string {
+	type scored struct {
+		id    string
+		score [sha256.Size]byte
+	}
+	s := make([]scored, len(ids))
+	for i, id := range ids {
+		s[i] = scored{id, sha256.Sum256([]byte(id + "\x00" + key))}
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if c := bytes.Compare(s[i].score[:], s[j].score[:]); c != 0 {
+			return c > 0
+		}
+		return s[i].id < s[j].id
+	})
+	out := make([]string, len(s))
+	for i := range s {
+		out[i] = s[i].id
+	}
+	return out
+}

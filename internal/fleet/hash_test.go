@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRankDeterministic(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	first := Rank("somehash", ids)
+	second := Rank("somehash", []string{"w4", "w2", "w1", "w3"}) // order-independent
+	if len(first) != 4 {
+		t.Fatalf("rank dropped ids: %v", first)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("ranking depends on input order: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestRankMinimalDisruption(t *testing.T) {
+	ids := []string{"w1", "w2", "w3", "w4"}
+	const keys = 200
+	moved := 0
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		before := Rank(key, ids)[0]
+		// Remove a worker that was NOT the key's first choice: the key's
+		// routing must not move.
+		var without []string
+		removed := ""
+		for _, id := range ids {
+			if removed == "" && id != before {
+				removed = id
+				continue
+			}
+			without = append(without, id)
+		}
+		after := Rank(key, without)[0]
+		if after != before {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d/%d keys re-routed despite their preferred worker surviving", moved, keys)
+	}
+}
+
+func TestRankSpreadsKeys(t *testing.T) {
+	ids := []string{"w1", "w2", "w3"}
+	counts := map[string]int{}
+	for k := 0; k < 300; k++ {
+		counts[Rank(fmt.Sprintf("key-%d", k), ids)[0]]++
+	}
+	for _, id := range ids {
+		if counts[id] < 50 {
+			t.Fatalf("badly skewed distribution: %v", counts)
+		}
+	}
+}
+
+func TestRankFailoverOrderExcludesFirst(t *testing.T) {
+	ids := []string{"w1", "w2", "w3"}
+	order := Rank("h", ids)
+	if order[0] == order[1] || order[1] == order[2] || order[0] == order[2] {
+		t.Fatalf("ranking repeated an id: %v", order)
+	}
+}

@@ -1,0 +1,249 @@
+package fleet
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"idyll/internal/service"
+)
+
+// State is a fleet member's liveness as seen by the coordinator.
+type State int
+
+const (
+	// StateAlive workers receive new dispatches.
+	StateAlive State = iota
+	// StateSuspect workers missed at least one probe but are not yet
+	// declared dead; they receive no new dispatches, but their caches are
+	// still listed in copyset hints — the common case is a worker busy
+	// enough to miss a probe deadline, not a dead one.
+	StateSuspect
+	// StateDraining workers answered a probe but report drain in progress
+	// (SIGTERM received): no new dispatches, but their peer endpoints keep
+	// serving, which is exactly what lets the rest of the fleet absorb
+	// their cached results before the process exits.
+	StateDraining
+	// StateDead workers failed FailLimit consecutive probes: removed from
+	// routing and from every copyset.
+	StateDead
+)
+
+func (s State) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDraining:
+		return "draining"
+	case StateDead:
+		return "dead"
+	}
+	return "unknown"
+}
+
+// Member is one worker as tracked by Membership. The exported fields are
+// immutable after Add; liveness lives behind the Membership lock.
+type Member struct {
+	ID  string
+	URL string
+	// Dispatch is the retrying client used to relay jobs.
+	Dispatch *service.Client
+	// Probe is the non-retrying client used for health checks and metric
+	// scrapes — a prober supplies its own cadence and failure accounting.
+	Probe *service.Client
+
+	state State
+	fails int
+}
+
+// Membership tracks the worker set: static members given at construction
+// plus dynamic joiners, probed for liveness on a fixed cadence. Safe for
+// concurrent use.
+type Membership struct {
+	mu        sync.Mutex
+	members   map[string]*Member
+	failLimit int
+	timeout   time.Duration
+	onDeath   func(id string) // called outside the lock
+	logf      func(format string, args ...any)
+}
+
+// NewMembership returns an empty member set. failLimit consecutive probe
+// failures declare a worker dead (minimum 1); onDeath, when non-nil, fires
+// once per death (and is how the coordinator scrubs copysets). probeTimeout
+// bounds one health check.
+func NewMembership(failLimit int, probeTimeout time.Duration, onDeath func(id string), logf func(string, ...any)) *Membership {
+	if failLimit < 1 {
+		failLimit = 3
+	}
+	if probeTimeout <= 0 {
+		probeTimeout = 2 * time.Second
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Membership{
+		members:   make(map[string]*Member),
+		failLimit: failLimit,
+		timeout:   probeTimeout,
+		onDeath:   onDeath,
+		logf:      logf,
+	}
+}
+
+// Add registers a worker (idempotent for an identical id+url; a re-join
+// with a new URL replaces the member and resets its liveness — the worker
+// restarted somewhere else).
+func (m *Membership) Add(id, url string) *Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mb, ok := m.members[id]; ok && mb.URL == url {
+		// Re-join of a known member: treat as a liveness signal.
+		mb.state = StateAlive
+		mb.fails = 0
+		return mb
+	}
+	mb := &Member{
+		ID:       id,
+		URL:      url,
+		Dispatch: service.NewClient(url),
+		Probe:    service.NewClient(url, service.WithRetry(service.NoRetry())),
+	}
+	m.members[id] = mb
+	m.logf("fleet: member %s joined at %s", id, url)
+	return mb
+}
+
+// Get returns the member with the given ID.
+func (m *Membership) Get(id string) (*Member, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mb, ok := m.members[id]
+	return mb, ok
+}
+
+// Routable returns the members eligible for new dispatches (alive only),
+// sorted by ID for deterministic iteration.
+func (m *Membership) Routable() []*Member {
+	return m.selectByState(func(s State) bool { return s == StateAlive })
+}
+
+// Hintable returns the members whose caches may be consulted for peer
+// fills: everyone not declared dead. A draining or suspect worker's peer
+// endpoints still serve.
+func (m *Membership) Hintable() []*Member {
+	return m.selectByState(func(s State) bool { return s != StateDead })
+}
+
+func (m *Membership) selectByState(keep func(State) bool) []*Member {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []*Member
+	for _, mb := range m.members {
+		if keep(mb.state) {
+			out = append(out, mb)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Snapshot reports every member's state for /v1/fleet/status.
+func (m *Membership) Snapshot() []WorkerInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkerInfo, 0, len(m.members))
+	for _, mb := range m.members {
+		out = append(out, WorkerInfo{ID: mb.ID, URL: mb.URL, State: mb.state.String(), Fails: mb.fails})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// MarkFailed records a dispatch-side failure (connection refused, relay
+// error) as a probe failure would be — the fast path to Suspect/Dead when
+// a worker dies between probes.
+func (m *Membership) MarkFailed(id string) {
+	m.mu.Lock()
+	mb, ok := m.members[id]
+	var died bool
+	if ok && mb.state != StateDead {
+		mb.fails++
+		if mb.fails >= m.failLimit {
+			mb.state = StateDead
+			died = true
+		} else if mb.state == StateAlive {
+			mb.state = StateSuspect
+		}
+	}
+	m.mu.Unlock()
+	if died {
+		m.logf("fleet: member %s declared dead after %d failures", id, m.failLimit)
+		if m.onDeath != nil {
+			m.onDeath(id)
+		}
+	}
+}
+
+// ProbeOnce health-checks every member once, sequentially (fleet sizes
+// here are single digits; sequential probes keep the logic trivially
+// deterministic). A successful probe resurrects even a Dead member — if a
+// worker comes back with its disk caches intact, there is no reason to
+// shun it.
+func (m *Membership) ProbeOnce(ctx context.Context) {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.members))
+	for id := range m.members {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		mb, ok := m.Get(id)
+		if !ok {
+			continue
+		}
+		pctx, cancel := context.WithTimeout(ctx, m.timeout)
+		h, err := mb.Probe.Healthz(pctx)
+		cancel()
+		if err == nil && h.FleetVersion != "" {
+			err = CheckVersion(h.FleetVersion)
+		}
+		if err != nil {
+			m.MarkFailed(id)
+			continue
+		}
+		m.mu.Lock()
+		if h.Draining {
+			if mb.state != StateDraining {
+				m.logf("fleet: member %s draining", id)
+			}
+			mb.state = StateDraining
+		} else {
+			mb.state = StateAlive
+		}
+		mb.fails = 0
+		m.mu.Unlock()
+	}
+}
+
+// Run probes on a fixed cadence until ctx ends.
+func (m *Membership) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			m.ProbeOnce(ctx)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// healthStub serves a configurable /healthz.
+type healthStub struct {
+	draining atomic.Bool
+	version  atomic.Value // string
+	down     atomic.Bool
+}
+
+func (h *healthStub) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if h.down.Load() {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		v, _ := h.version.Load().(string)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","draining":` +
+			map[bool]string{true: "true", false: "false"}[h.draining.Load()] +
+			`,"worker_id":"w","fleet_version":"` + v + `"}`))
+	})
+	return mux
+}
+
+func newMembers(t *testing.T, onDeath func(string)) (*Membership, *healthStub, string) {
+	t.Helper()
+	stub := &healthStub{}
+	stub.version.Store(VersionString)
+	srv := httptest.NewServer(stub.handler())
+	t.Cleanup(srv.Close)
+	m := NewMembership(3, time.Second, onDeath, nil)
+	return m, stub, srv.URL
+}
+
+func TestProbeLifecycle(t *testing.T) {
+	var died atomic.Value
+	m, stub, url := newMembers(t, func(id string) { died.Store(id) })
+	m.Add("w1", url)
+
+	m.ProbeOnce(context.Background())
+	if got := m.Snapshot()[0].State; got != "alive" {
+		t.Fatalf("state after healthy probe = %s", got)
+	}
+	if len(m.Routable()) != 1 {
+		t.Fatal("healthy worker not routable")
+	}
+
+	// Drain: no dispatches, still hintable.
+	stub.draining.Store(true)
+	m.ProbeOnce(context.Background())
+	if got := m.Snapshot()[0].State; got != "draining" {
+		t.Fatalf("state = %s, want draining", got)
+	}
+	if len(m.Routable()) != 0 || len(m.Hintable()) != 1 {
+		t.Fatal("draining worker must be hintable but not routable")
+	}
+
+	// Death after three failed probes.
+	stub.down.Store(true)
+	for i := 0; i < 3; i++ {
+		m.ProbeOnce(context.Background())
+	}
+	if got := m.Snapshot()[0].State; got != "dead" {
+		t.Fatalf("state = %s, want dead", got)
+	}
+	if died.Load() != "w1" {
+		t.Fatal("onDeath hook did not fire")
+	}
+	if len(m.Hintable()) != 0 {
+		t.Fatal("dead worker still hintable")
+	}
+
+	// Resurrection: a worker back with intact disk caches rejoins routing.
+	stub.down.Store(false)
+	stub.draining.Store(false)
+	m.ProbeOnce(context.Background())
+	if got := m.Snapshot()[0].State; got != "alive" {
+		t.Fatalf("state after recovery = %s, want alive", got)
+	}
+}
+
+func TestProbeRejectsIncompatibleVersion(t *testing.T) {
+	m, stub, url := newMembers(t, nil)
+	stub.version.Store("idyll-fleet/2")
+	m.Add("w1", url)
+	for i := 0; i < 3; i++ {
+		m.ProbeOnce(context.Background())
+	}
+	if got := m.Snapshot()[0].State; got != "dead" {
+		t.Fatalf("incompatible worker state = %s, want dead", got)
+	}
+}
+
+func TestMarkFailedEscalates(t *testing.T) {
+	var died atomic.Value
+	m := NewMembership(3, time.Second, func(id string) { died.Store(id) }, nil)
+	m.Add("w1", "http://127.0.0.1:1") // never contacted
+	m.MarkFailed("w1")
+	if got := m.Snapshot()[0].State; got != "suspect" {
+		t.Fatalf("state after one failure = %s, want suspect", got)
+	}
+	if len(m.Hintable()) != 1 {
+		t.Fatal("suspect worker must stay hintable")
+	}
+	m.MarkFailed("w1")
+	m.MarkFailed("w1")
+	if got := m.Snapshot()[0].State; got != "dead" {
+		t.Fatalf("state after three failures = %s, want dead", got)
+	}
+	if died.Load() != "w1" {
+		t.Fatal("onDeath hook did not fire")
+	}
+	// Further failures on a dead member must not re-fire the hook.
+	died.Store("")
+	m.MarkFailed("w1")
+	if died.Load() != "" {
+		t.Fatal("onDeath re-fired for an already-dead member")
+	}
+}
+
+func TestCheckVersion(t *testing.T) {
+	if err := CheckVersion(VersionString); err != nil {
+		t.Fatalf("exact version rejected: %v", err)
+	}
+	if err := CheckVersion(VersionString + ".3"); err != nil {
+		t.Fatalf("minor revision rejected: %v", err)
+	}
+	for _, bad := range []string{"", "idyll-fleet/2", "idyll-fleet/10", "other/1"} {
+		if CheckVersion(bad) == nil {
+			t.Fatalf("incompatible version %q accepted", bad)
+		}
+	}
+}
+
+func TestCopysetsTrackAndDrop(t *testing.T) {
+	cs := NewCopysets(2)
+	cs.Add("h1", "w1")
+	cs.Add("h1", "w2")
+	cs.Add("h1", "w1") // duplicate: no-op
+	if got := cs.Holders("h1"); len(got) != 2 || got[0] != "w1" || got[1] != "w2" {
+		t.Fatalf("holders = %v", got)
+	}
+	cs.Add("h2", "w1")
+	cs.Holders("h1")   // touch: h2 becomes the LRU hash
+	cs.Add("h3", "w1") // evicts h2
+	if cs.Holders("h2") != nil {
+		t.Fatal("LRU hash survived eviction")
+	}
+	if cs.Holders("h1") == nil {
+		t.Fatal("recently touched hash evicted")
+	}
+	cs.DropWorker("w1")
+	if got := cs.Holders("h1"); len(got) != 1 || got[0] != "w2" {
+		t.Fatalf("holders after drop = %v", got)
+	}
+	if cs.Holders("h3") != nil {
+		t.Fatal("hash with no remaining holders must vanish")
+	}
+}

@@ -16,69 +16,165 @@ import (
 )
 
 // Client is the typed Go client for an idylld daemon; cmd/idyllctl is a
-// thin shell around it.
+// thin shell around it, and the fleet coordinator uses it to relay jobs to
+// workers. Requests that fail with a retryable status (429 shed, 503
+// drain) or a network error are retried under the configured RetryPolicy —
+// safe even for submissions, because jobs are content-addressed and
+// therefore idempotent.
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	hc     *http.Client
+	tenant string
+	retry  RetryPolicy
+}
+
+// ClientOption configures a Client at construction.
+type ClientOption func(*Client)
+
+// WithTenant attaches the X-Idyll-Tenant header to every request, feeding
+// the server's per-tenant accounting, quotas, and fair-share scheduling.
+func WithTenant(tenant string) ClientOption {
+	return func(c *Client) { c.tenant = tenant }
+}
+
+// WithRetry replaces the default retry policy (DefaultRetry; use NoRetry
+// for strict single-attempt behavior).
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// WithHTTPClient replaces the underlying http.Client (tests inject
+// httptest transports; the fleet shares a pooled client across workers).
+func WithHTTPClient(hc *http.Client) ClientOption {
+	return func(c *Client) { c.hc = hc }
 }
 
 // NewClient returns a client for the daemon at base (e.g.
 // "http://127.0.0.1:8080"). The underlying http.Client has no overall
 // timeout — Wait streams events for a job's whole lifetime — so bound calls
 // with a context instead.
-func NewClient(base string) *Client {
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+func NewClient(base string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:  strings.TrimRight(base, "/"),
+		hc:    &http.Client{},
+		retry: DefaultRetry(),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// apiErr decodes a non-2xx response into an error carrying the server's
-// message and status code.
+// Base returns the daemon base URL the client targets.
+func (c *Client) Base() string { return c.base }
+
+// apiErr decodes a non-2xx response into an *APIError carrying the
+// server's message, the status code, and any Retry-After delay.
 func apiErr(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e apiError
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("idylld: %s (HTTP %d)", e.Error, resp.StatusCode)
+	e := &APIError{Status: resp.StatusCode, RetryAfter: retryAfter(resp)}
+	var wire apiError
+	if json.Unmarshal(body, &wire) == nil && wire.Error != "" {
+		e.Msg = wire.Error
+	} else {
+		e.Msg = string(bytes.TrimSpace(body))
 	}
-	return fmt.Errorf("idylld: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	return e
+}
+
+// do executes one HTTP request under the retry policy. Each attempt
+// rebuilds the request (bodies are byte slices, so replay is safe). A
+// response with a status outside ok is consumed, closed, and surfaced as
+// *APIError; otherwise the caller owns resp.Body.
+func (c *Client) do(ctx context.Context, method, path string, body []byte,
+	hdr map[string]string, ok ...int) (*http.Response, error) {
+	var resp *http.Response
+	err := c.retry.Do(ctx, func() error {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if c.tenant != "" {
+			req.Header.Set(HeaderTenant, c.tenant)
+		}
+		for k, v := range hdr {
+			if v != "" {
+				req.Header.Set(k, v)
+			}
+		}
+		r, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		for _, code := range ok {
+			if r.StatusCode == code {
+				resp = r
+				return nil
+			}
+		}
+		defer r.Body.Close()
+		return apiErr(r)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil, http.StatusOK)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return apiErr(resp)
-	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// SubmitOpts carries per-call fleet metadata attached as headers; the
+// zero value submits plainly.
+type SubmitOpts struct {
+	// Hints lists peer base URLs believed to hold this job's result
+	// (copyset hints, X-Idyll-Copyset): the worker tries a peer cache
+	// fill before recomputing.
+	Hints []string
+	// Peers lists the current fleet membership (X-Idyll-Peers), letting
+	// workers on ephemeral ports learn where their peers live.
+	Peers []string
+}
+
+func (o SubmitOpts) headers() map[string]string {
+	return map[string]string{
+		HeaderCopyset: strings.Join(o.Hints, ","),
+		HeaderPeers:   strings.Join(o.Peers, ","),
+	}
 }
 
 // Submit posts a job spec. The returned status reports whether the job was
 // freshly queued, attached to an in-flight duplicate (Deduped), or answered
 // directly from the result cache (Cached, Status "done", Result set).
 func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	return c.SubmitWith(ctx, spec, SubmitOpts{})
+}
+
+// SubmitWith is Submit plus fleet metadata (copyset hints, peer list).
+func (c *Client) SubmitWith(ctx context.Context, spec JobSpec, opts SubmitOpts) (*JobStatus, error) {
 	raw, err := json.Marshal(spec)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
-		c.base+"/v1/jobs", bytes.NewReader(raw))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/jobs", raw, opts.headers(),
+		http.StatusOK, http.StatusAccepted)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return nil, apiErr(resp)
-	}
 	var st JobStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, err
@@ -126,12 +222,16 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*Job
 }
 
 // streamEvents consumes the SSE stream until it ends (terminal event or
-// server close). A nil return means the stream ended normally.
+// server close). A nil return means the stream ended normally. The stream
+// is not retried — Wait's poll fallback covers a broken stream.
 func (c *Client) streamEvents(ctx context.Context, id string, onEvent func(Event)) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
 	if err != nil {
 		return err
+	}
+	if c.tenant != "" {
+		req.Header.Set(HeaderTenant, c.tenant)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -162,7 +262,12 @@ func (c *Client) streamEvents(ctx context.Context, id string, onEvent func(Event
 // SubmitAndWait submits a spec and waits for its result, combining Submit's
 // cache fast path with Wait.
 func (c *Client) SubmitAndWait(ctx context.Context, spec JobSpec, onEvent func(Event)) (*JobStatus, error) {
-	st, err := c.Submit(ctx, spec)
+	return c.SubmitAndWaitWith(ctx, spec, SubmitOpts{}, onEvent)
+}
+
+// SubmitAndWaitWith is SubmitAndWait plus fleet metadata.
+func (c *Client) SubmitAndWaitWith(ctx context.Context, spec JobSpec, opts SubmitOpts, onEvent func(Event)) (*JobStatus, error) {
+	st, err := c.SubmitWith(ctx, spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -198,18 +303,11 @@ func (c *Client) Figure(ctx context.Context, name string, o experiment.Options) 
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil, http.StatusOK)
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiErr(resp)
-	}
 	raw, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err
@@ -217,37 +315,111 @@ func (c *Client) Figure(ctx context.Context, name string, o experiment.Options) 
 	return experiment.ParseTableJSON(string(raw))
 }
 
-// Metrics fetches and parses GET /metrics.
-func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.hc.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, apiErr(resp)
-	}
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	return ParseMetrics(string(raw))
+// CacheGet fetches the raw result bytes a peer holds under hash
+// (GET /v1/cache/{hash}). ok=false is a clean miss (the peer simply does
+// not have it); errors are transport or server failures. Misses are not
+// retried — a filler falls through to the next hint.
+func (c *Client) CacheGet(ctx context.Context, hash string) (data []byte, ok bool, err error) {
+	return c.getRaw(ctx, "/v1/cache/"+url.PathEscape(hash))
 }
 
-// Health checks GET /healthz.
-func (c *Client) Health(ctx context.Context) error {
-	var out struct {
-		Status string `json:"status"`
+// CkptGet fetches a peer's warmup checkpoint under key
+// (GET /v1/ckpt/{key}); miss/err semantics match CacheGet.
+func (c *Client) CkptGet(ctx context.Context, key string) (data []byte, ok bool, err error) {
+	return c.getRaw(ctx, "/v1/ckpt/"+url.PathEscape(key))
+}
+
+func (c *Client) getRaw(ctx context.Context, path string) ([]byte, bool, error) {
+	resp, err := c.do(ctx, http.MethodGet, path, nil, nil,
+		http.StatusOK, http.StatusNotFound)
+	if err != nil {
+		return nil, false, err
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// FillCache asks the daemon to pull the result under hash from one of
+// sources into its local cache (POST /v1/cache/fill) — the replication
+// push a coordinator issues after a job computes, so the result survives
+// its computing worker's death. present reports the daemon already had it.
+func (c *Client) FillCache(ctx context.Context, hash string, sources []string) (filled, present bool, err error) {
+	raw, err := json.Marshal(fillRequest{Hash: hash, Sources: sources})
+	if err != nil {
+		return false, false, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/cache/fill", raw, nil, http.StatusOK)
+	if err != nil {
+		return false, false, err
+	}
+	defer resp.Body.Close()
+	var out fillResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return false, false, err
+	}
+	return out.Filled, out.Present, nil
+}
+
+// HealthInfo is the decoded GET /healthz payload.
+type HealthInfo struct {
+	Status       string `json:"status"`
+	Draining     bool   `json:"draining"`
+	WorkerID     string `json:"worker_id"`
+	FleetVersion string `json:"fleet_version"`
+}
+
+// Healthz fetches the full health payload — the fleet membership probe
+// reads Draining and FleetVersion from it. A prober that supplies its own
+// cadence and failure accounting should construct its client with
+// WithRetry(NoRetry()).
+func (c *Client) Healthz(ctx context.Context) (*HealthInfo, error) {
+	var out HealthInfo
 	if err := c.getJSON(ctx, "/healthz", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health checks GET /healthz reports "ok".
+func (c *Client) Health(ctx context.Context) error {
+	h, err := c.Healthz(ctx)
+	if err != nil {
 		return err
 	}
-	if out.Status != "ok" {
-		return fmt.Errorf("idylld: health status %q", out.Status)
+	if h.Status != "ok" {
+		return fmt.Errorf("idylld: health status %q", h.Status)
 	}
 	return nil
+}
+
+// MetricsText fetches the raw GET /metrics text exposition (the fleet
+// rollup re-serves worker lines verbatim under per-worker labels).
+func (c *Client) MetricsText(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil, nil, http.StatusOK)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return string(raw), nil
+}
+
+// Metrics fetches and parses GET /metrics.
+func (c *Client) Metrics(ctx context.Context) (map[string]float64, error) {
+	text, err := c.MetricsText(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return ParseMetrics(text)
 }

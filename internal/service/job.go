@@ -16,6 +16,27 @@ const (
 	StatusCancelled = "cancelled"
 )
 
+// Result sources: how a done job's bytes were obtained. Mirrored in the
+// X-Idyll-Source response header so a coordinator can update copysets.
+const (
+	SourceComputed = "computed" // ran the simulation
+	SourceCache    = "cache"    // local result cache (memory or disk)
+	SourcePeer     = "peer"     // fetched from a peer's cache (copyset hint)
+)
+
+// Fleet-protocol headers understood by the daemon. The wire-protocol
+// version string itself lives in internal/fleet; the daemon only echoes
+// what cmd/idylld configures (Config.FleetVersion).
+const (
+	HeaderTenant  = "X-Idyll-Tenant"  // fairness/accounting identity
+	HeaderCopyset = "X-Idyll-Copyset" // comma-separated peer base URLs holding this result
+	HeaderPeers   = "X-Idyll-Peers"   // comma-separated current fleet peer base URLs
+	HeaderSource  = "X-Idyll-Source"  // response: computed | cache | peer
+)
+
+// DefaultTenant labels submissions that carry no X-Idyll-Tenant header.
+const DefaultTenant = "default"
+
 // Event is one entry of a job's progress stream (GET /v1/jobs/{id}/events).
 // Seq increases by one per event; subscribers that attach late replay the
 // full history first, so the stream is totally ordered for every reader.
@@ -41,9 +62,12 @@ type JobStatus struct {
 	// Cached marks a job answered from the result cache without running.
 	Cached bool `json:"cached,omitempty"`
 	// Deduped marks a submission that attached to an in-flight identical job.
-	Deduped bool            `json:"deduped,omitempty"`
-	Error   string          `json:"error,omitempty"`
-	Result  json.RawMessage `json:"result,omitempty"`
+	Deduped bool `json:"deduped,omitempty"`
+	// Source reports how a done job's bytes were obtained: "computed",
+	// "cache", or "peer" (peer cache fill instead of recompute).
+	Source string          `json:"source,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Result json.RawMessage `json:"result,omitempty"`
 }
 
 // job is the server-side job record.
@@ -58,6 +82,7 @@ type job struct {
 	mu       sync.Mutex
 	status   string
 	cached   bool
+	source   string
 	err      string
 	result   []byte
 	events   []Event
@@ -177,6 +202,7 @@ func (j *job) snapshot() (JobStatus, error) {
 		Spec:   wire,
 		Status: j.status,
 		Cached: j.cached,
+		Source: j.source,
 		Error:  j.err,
 		Result: append(json.RawMessage(nil), j.result...),
 	}, nil

@@ -39,6 +39,34 @@ func (m *Metrics) Inc(name string, delta uint64) {
 	m.mu.Unlock()
 }
 
+// IncLabeled adds delta to the counter name{label="value"} — the one-label
+// prometheus-style form used for per-tenant and per-worker breakdowns. The
+// label value is sanitized so arbitrary header input cannot break the
+// line-oriented format.
+func (m *Metrics) IncLabeled(name, label, value string, delta uint64) {
+	m.Inc(LabelKey(name, label, value), delta)
+}
+
+// LabelKey renders the canonical labeled-counter key. Label values are
+// clipped to 64 bytes and stripped of characters that would corrupt the
+// text exposition (quotes, braces, whitespace).
+func LabelKey(name, label, value string) string {
+	var b strings.Builder
+	for _, r := range value {
+		switch {
+		case r == '"' || r == '{' || r == '}' || r == '\\',
+			r == ' ' || r == '\n' || r == '\r' || r == '\t':
+			b.WriteByte('_')
+		default:
+			b.WriteRune(r)
+		}
+		if b.Len() >= 64 {
+			break
+		}
+	}
+	return name + `{` + label + `="` + b.String() + `"}`
+}
+
 // Set overwrites the named counter (used to mirror cache statistics).
 func (m *Metrics) Set(name string, v uint64) {
 	m.mu.Lock()
@@ -60,27 +88,52 @@ func (m *Metrics) ObserveJobLatency(d time.Duration) {
 	m.mu.Unlock()
 }
 
-// Render emits every counter plus latency percentiles, sorted by name so
-// output is stable for tests and diffing. gauges carries point-in-time
-// values (queue depth, in-flight) the server samples at render time.
+// Render emits every counter plus latency percentiles as one
+// "idylld_<name> <value>" line each, sorted by metric *name* — not by
+// formatted line — so the order is a pure function of the key set and can
+// never shift as values grow. Byte-stable output is a contract here: the
+// fleet rollup and the CI gates diff and grep this text, so map-order or
+// value-dependent ordering would be diff noise at best and a flaky gate at
+// worst (RenderMetricLines has the regression test). gauges carries
+// point-in-time values (queue depth, in-flight) the server samples at
+// render time.
 func (m *Metrics) Render(gauges map[string]int) string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	lines := make([]string, 0, len(m.counters)+len(gauges)+4)
+	vals := make(map[string]string, len(m.counters)+len(gauges)+4)
 	for name, v := range m.counters {
-		lines = append(lines, fmt.Sprintf("idylld_%s %d", name, v))
+		vals[name] = fmt.Sprintf("%d", v)
 	}
 	for name, v := range gauges {
-		lines = append(lines, fmt.Sprintf("idylld_%s %d", name, v))
+		vals[name] = fmt.Sprintf("%d", v)
 	}
-	lines = append(lines,
-		fmt.Sprintf("idylld_job_latency_count %d", m.latency.Count()),
-		fmt.Sprintf("idylld_job_latency_mean_us %.0f", m.latency.Mean()),
-		fmt.Sprintf("idylld_job_latency_p50_us %d", m.latency.Percentile(50)),
-		fmt.Sprintf("idylld_job_latency_p99_us %d", m.latency.Percentile(99)),
-	)
-	sort.Strings(lines)
-	return strings.Join(lines, "\n") + "\n"
+	vals["job_latency_count"] = fmt.Sprintf("%d", m.latency.Count())
+	vals["job_latency_mean_us"] = fmt.Sprintf("%.0f", m.latency.Mean())
+	vals["job_latency_p50_us"] = fmt.Sprintf("%d", m.latency.Percentile(50))
+	vals["job_latency_p99_us"] = fmt.Sprintf("%d", m.latency.Percentile(99))
+	return RenderMetricLines("idylld_", vals)
+}
+
+// RenderMetricLines formats a name→value map as sorted "prefix<name> value"
+// lines, the shared text-exposition renderer for the daemon's /metrics and
+// the fleet coordinator's rollup. Keys are sorted with sort.Strings before
+// values are attached, so the line order is independent of both map
+// iteration order and the values themselves.
+func RenderMetricLines(prefix string, vals map[string]string) string {
+	names := make([]string, 0, len(vals))
+	for name := range vals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString(prefix)
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(vals[name])
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // ParseMetrics decodes a Render payload back into a name→value map — the

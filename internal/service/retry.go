@@ -1,0 +1,169 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// APIError is a non-2xx daemon response, carrying the HTTP status, the
+// server's message, and any Retry-After the server attached — enough for
+// the retry layer to distinguish "try again shortly" (429 shed, 503 drain)
+// from a real failure, and to honor the server's pacing.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter time.Duration // 0 when the server sent none
+}
+
+func (e *APIError) Error() string {
+	if e.Msg != "" {
+		return "idylld: " + e.Msg + " (HTTP " + strconv.Itoa(e.Status) + ")"
+	}
+	return "idylld: HTTP " + strconv.Itoa(e.Status)
+}
+
+// Temporary reports whether the response is worth retrying against the same
+// server: load shedding (429), drain/unavailable (503), and transient
+// gateway failures (502/504).
+func (e *APIError) Temporary() bool {
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable,
+		http.StatusBadGateway, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// retryAfter parses a Retry-After header's delay-seconds form (the only
+// form idylld emits; HTTP-date is ignored).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// RetryPolicy is exponential backoff with jitter and Retry-After honoring,
+// shared by the typed client (a 429/503 from idylld used to be a hard
+// error) and the fleet dispatcher. The zero value never retries.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (values below 1 behave as 1: no retry).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff: attempt n waits about
+	// BaseDelay·2ⁿ⁻¹, capped at MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff step (default: no cap beyond the math).
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay randomized (0..1). A delay d
+	// becomes uniform in [d·(1−Jitter/2), d·(1+Jitter/2)], decorrelating
+	// fleet clients that shed at the same instant.
+	Jitter float64
+	// Sleep is the wait primitive (tests inject instant sleeps); nil uses
+	// a context-aware timer.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand is the jitter source (tests inject fixed values); nil uses
+	// math/rand's global source. Never used by the deterministic core —
+	// this is client-side pacing, outside the simulator.
+	Rand func() float64
+}
+
+// DefaultRetry is the client's standard policy: 4 attempts, 100 ms base,
+// 5 s cap, half-width jitter.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 100 * time.Millisecond,
+		MaxDelay: 5 * time.Second, Jitter: 0.5}
+}
+
+// NoRetry is a single attempt: the pre-retry behavior.
+func NoRetry() RetryPolicy { return RetryPolicy{MaxAttempts: 1} }
+
+// Retryable classifies an error for retry: context cancellation never
+// retries, *APIError retries iff Temporary, anything else (network errors:
+// connection refused, resets, EOFs) retries — the peer may be mid-restart.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.Temporary()
+	}
+	return true
+}
+
+// Do runs op until it succeeds, exhausts the attempt budget, hits a
+// non-retryable error, or ctx ends. The delay before attempt n+1 is the
+// jittered backoff step, raised to the server's Retry-After when that is
+// longer.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = sleepCtx
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = op()
+		if err == nil || attempt >= attempts || !Retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if serr := sleep(ctx, p.delay(attempt, err)); serr != nil {
+			return err // context ended while backing off; report the op error
+		}
+	}
+}
+
+// delay computes the wait after the attempt-th failure.
+func (p RetryPolicy) delay(attempt int, err error) time.Duration {
+	d := p.BaseDelay
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			d = p.MaxDelay
+			break
+		}
+	}
+	if p.Jitter > 0 {
+		rnd := p.Rand
+		if rnd == nil {
+			rnd = rand.Float64
+		}
+		j := float64(d) * p.Jitter
+		d = time.Duration(float64(d) - j/2 + rnd()*j)
+	}
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > d {
+		d = ae.RetryAfter
+	}
+	return d
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

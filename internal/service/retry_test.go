@@ -1,0 +1,201 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// instant is a Sleep injection that records requested delays and returns
+// immediately, keeping retry tests fast and deterministic.
+type instant struct{ delays []time.Duration }
+
+func (s *instant) sleep(_ context.Context, d time.Duration) error {
+	s.delays = append(s.delays, d)
+	return nil
+}
+
+func testPolicy(s *instant) RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    5 * time.Second,
+		Sleep:       s.sleep,
+	}
+}
+
+func TestRetryBackoffDoubles(t *testing.T) {
+	s := &instant{}
+	p := testPolicy(s)
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return &APIError{Status: http.StatusServiceUnavailable}
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("calls = %d, err = %v; want 4 attempts then error", calls, err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(s.delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", s.delays, want)
+	}
+	for i := range want {
+		if s.delays[i] != want[i] {
+			t.Fatalf("delay %d = %v, want %v (no jitter configured)", i, s.delays[i], want[i])
+		}
+	}
+}
+
+func TestRetryHonorsRetryAfterFloor(t *testing.T) {
+	s := &instant{}
+	p := testPolicy(s)
+	p.Do(context.Background(), func() error {
+		return &APIError{Status: http.StatusTooManyRequests, RetryAfter: 2 * time.Second}
+	})
+	for i, d := range s.delays {
+		if d < 2*time.Second {
+			t.Fatalf("delay %d = %v, below server Retry-After floor of 2s", i, d)
+		}
+	}
+}
+
+func TestRetryJitterBounds(t *testing.T) {
+	s := &instant{}
+	p := testPolicy(s)
+	p.Jitter = 0.5
+	p.MaxAttempts = 2
+	for _, rv := range []float64{0, 0.5, 0.999} {
+		s.delays = nil
+		p.Rand = func() float64 { return rv }
+		p.Do(context.Background(), func() error {
+			return &APIError{Status: http.StatusServiceUnavailable}
+		})
+		d := s.delays[0]
+		lo, hi := 75*time.Millisecond, 125*time.Millisecond
+		if d < lo || d > hi {
+			t.Fatalf("rand=%v: jittered delay %v outside [%v, %v]", rv, d, lo, hi)
+		}
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	s := &instant{}
+	p := testPolicy(s)
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return &APIError{Status: http.StatusBadRequest}
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || calls != 1 {
+		t.Fatalf("calls = %d, err = %v; want single attempt on 400", calls, err)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := DefaultRetry().Do(ctx, func() error {
+		calls++
+		return errors.New("network down")
+	})
+	if calls != 1 || err == nil {
+		t.Fatalf("calls = %d, err = %v; want 1 attempt under cancelled context", calls, err)
+	}
+}
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{&APIError{Status: 429}, true},
+		{&APIError{Status: 503}, true},
+		{&APIError{Status: 502}, true},
+		{&APIError{Status: 400}, false},
+		{&APIError{Status: 404}, false},
+		{&APIError{Status: 500}, false},
+		{errors.New("connection refused"), true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Fatalf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+// TestClientRetriesShedding drives a real HTTP round trip: the server sheds
+// the first two attempts with 429 + Retry-After, then accepts. The client
+// must transparently succeed.
+func TestClientRetriesShedding(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, WithRetry(RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		Sleep:       (&instant{}).sleep,
+	}))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after shedding: %v", err)
+	}
+	if got := n.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3", got)
+	}
+}
+
+// TestClientNoRetryPolicy pins the escape hatch: NoRetry must surface the
+// first 429 immediately.
+func TestClientNoRetryPolicy(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, WithRetry(NoRetry()))
+	err := c.Health(context.Background())
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want APIError 429", err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts, want 1", got)
+	}
+}
+
+// TestClientTenantHeader pins that WithTenant stamps every request.
+func TestClientTenantHeader(t *testing.T) {
+	var got atomic.Value
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(HeaderTenant))
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL, WithTenant("alice"))
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if got.Load() != "alice" {
+		t.Fatalf("tenant header = %q, want alice", got.Load())
+	}
+}

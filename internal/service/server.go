@@ -30,6 +30,35 @@ type Config struct {
 	// QueueDepth bounds the accepted-but-not-running backlog (default 64).
 	// A full queue sheds load: POST answers 429 with Retry-After.
 	QueueDepth int
+	// Queue, when non-nil, replaces the default bounded FIFO backlog with a
+	// custom JobQueue — the fleet coordinator injects a weighted fair-share
+	// scheduler here. QueueDepth and TenantQueueMax are ignored when set.
+	Queue JobQueue
+	// TenantQueueMax, when positive, caps how many queued jobs any single
+	// tenant (X-Idyll-Tenant) may hold in the default FIFO backlog; the
+	// excess sheds with 429 before the global queue fills. 0 = no cap.
+	TenantQueueMax int
+	// PeerFill, when non-nil, is consulted when a job is about to run after
+	// missing the result cache: given the spec hash and the copyset hint
+	// that rode in on X-Idyll-Copyset (base URLs of peers believed to hold
+	// the result), it returns the result bytes fetched from a peer. A
+	// successful fill is cached and finishes the job without recomputing
+	// (metrics: peer_fills / peer_fill_misses).
+	PeerFill func(ctx context.Context, hash string, hints []string) ([]byte, bool)
+	// CkptFill, when non-nil, is installed as the warmup-checkpoint store's
+	// remote-fill hook: consulted after a memory and disk miss, before the
+	// warmup is recomputed. Ignored when Runner is injected.
+	CkptFill func(key string) ([]byte, bool)
+	// OnPeers, when non-nil, receives the peer list that rode in on
+	// X-Idyll-Peers with a dispatch — the coordinator's way of teaching
+	// workers who their current peers are without static configuration.
+	OnPeers func(peers []string)
+	// FleetID is this process's stable fleet member name (idylld -fleet-id),
+	// echoed in /healthz; the coordinator's rendezvous hashing keys on it.
+	FleetID string
+	// FleetVersion is the fleet wire-protocol version string echoed in
+	// /healthz so a coordinator can refuse incompatible workers.
+	FleetVersion string
 	// CacheEntries sizes the in-memory result LRU (default 256).
 	CacheEntries int
 	// CacheDir, when non-empty, persists results on disk so cache contents
@@ -100,9 +129,10 @@ type Server struct {
 	baseCtx    context.Context // cancelled to force-stop in-flight jobs
 	baseCancel context.CancelFunc
 
+	queue JobQueue
+
 	mu       sync.Mutex
 	draining bool
-	queue    chan *job
 	jobs     map[string]*job // job ID → record (terminal records GC'd by TTL)
 	inflight map[string]*job // spec hash → live job (the singleflight map)
 	running  int             // jobs currently executing
@@ -122,8 +152,15 @@ func NewServer(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ckpt := store.New(cfg.CkptEntries, cfg.CkptDir)
+	if cfg.CkptFill != nil {
+		ckpt.SetRemoteFill(cfg.CkptFill)
+	}
 	if cfg.Runner == nil {
 		cfg.Runner = RunSpecWith(cfg.Par, ckpt)
+	}
+	queue := cfg.Queue
+	if queue == nil {
+		queue = NewFIFOQueue(cfg.QueueDepth, cfg.TenantQueueMax)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -133,7 +170,7 @@ func NewServer(cfg Config) (*Server, error) {
 		metrics:    NewMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		queue:      make(chan *job, cfg.QueueDepth),
+		queue:      queue,
 		jobs:       make(map[string]*job),
 		inflight:   make(map[string]*job),
 		gcStop:     make(chan struct{}),
@@ -165,10 +202,10 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
-	if !already {
-		close(s.queue)
-	}
 	s.mu.Unlock()
+	if !already {
+		s.queue.Close()
+	}
 
 	done := make(chan struct{})
 	go func() {
@@ -198,11 +235,9 @@ func (s *Server) Draining() bool {
 	return s.draining
 }
 
-// errDraining and errQueueFull distinguish submit rejections.
-var (
-	errDraining  = errors.New("service: draining, not accepting jobs")
-	errQueueFull = errors.New("service: job queue full")
-)
+// errDraining marks submissions rejected because shutdown has begun; queue
+// rejections satisfy errors.Is(err, ErrQueueFull) instead.
+var errDraining = errors.New("service: draining, not accepting jobs")
 
 // submit is the single entry point for new work: cache lookup, singleflight
 // dedupe against in-flight identical jobs, then enqueue. The returned
@@ -225,6 +260,7 @@ func (s *Server) submit(spec CanonicalSpec) (*job, JobStatus, error) {
 		s.mu.Unlock()
 		j.mu.Lock()
 		j.cached = true
+		j.source = SourceCache
 		j.mu.Unlock()
 		j.finish(StatusDone, raw, "")
 		st, err := j.snapshot()
@@ -244,19 +280,28 @@ func (s *Server) submit(spec CanonicalSpec) (*job, JobStatus, error) {
 		return live, st, err
 	}
 	j := newJob(s.nextIDLocked(), hash, spec)
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.queue.Push(spec.Tenant, j); err != nil {
 		s.mu.Unlock()
 		s.metrics.Inc("jobs_shed", 1)
-		return nil, JobStatus{}, errQueueFull
+		s.metrics.IncLabeled("tenant_jobs_shed", "tenant", tenantOrDefault(spec.Tenant), 1)
+		return nil, JobStatus{}, err
 	}
 	s.jobs[j.id] = j
 	s.inflight[hash] = j
 	s.mu.Unlock()
 	s.metrics.Inc("jobs_accepted", 1)
+	s.metrics.IncLabeled("tenant_jobs_accepted", "tenant", tenantOrDefault(spec.Tenant), 1)
 	st, err := j.snapshot()
 	return j, st, err
+}
+
+// tenantOrDefault normalizes the accounting label for submissions that
+// carried no X-Idyll-Tenant header.
+func tenantOrDefault(t string) string {
+	if t == "" {
+		return DefaultTenant
+	}
+	return t
 }
 
 func (s *Server) nextIDLocked() string {
@@ -271,11 +316,16 @@ func (s *Server) lookup(id string) (*job, bool) {
 	return j, ok
 }
 
-// worker drains the queue until Drain closes it.
+// worker drains the queue until Drain closes it (queued jobs still pop and
+// run during drain; force-cancel lands through baseCtx instead).
 func (s *Server) worker() {
 	defer s.workers.Done()
-	for j := range s.queue {
-		s.runJob(j)
+	for {
+		item, ok := s.queue.Pop(context.Background())
+		if !ok {
+			return
+		}
+		s.runJob(item.(*job))
 	}
 }
 
@@ -295,7 +345,24 @@ func (s *Server) runJob(j *job) {
 	j.setRunning()
 	start := time.Now()
 
-	raw, err := s.safeRun(ctx, j)
+	// Peer cache fill: before recomputing, ask the peers the copyset hint
+	// names for the finished result. Deterministic jobs make this sound —
+	// any peer's bytes for this hash are THE bytes.
+	var raw []byte
+	var err error
+	source := SourceComputed
+	if s.cfg.PeerFill != nil && len(j.spec.Hints) > 0 {
+		if pr, ok := s.cfg.PeerFill(ctx, j.hash, j.spec.Hints); ok {
+			raw, source = pr, SourcePeer
+			s.metrics.Inc("peer_fills", 1)
+			s.cfg.Logf("job %s peer-filled %s", j.id, j.hash[:12])
+		} else {
+			s.metrics.Inc("peer_fill_misses", 1)
+		}
+	}
+	if source != SourcePeer {
+		raw, err = s.safeRun(ctx, j)
+	}
 
 	s.mu.Lock()
 	s.running--
@@ -307,8 +374,12 @@ func (s *Server) runJob(j *job) {
 		if cerr := s.cache.Put(j.hash, raw); cerr != nil {
 			s.cfg.Logf("cache put %s: %v", j.hash[:12], cerr)
 		}
+		j.mu.Lock()
+		j.source = source
+		j.mu.Unlock()
 		j.finish(StatusDone, raw, "")
 		s.metrics.Inc("jobs_completed", 1)
+		s.metrics.IncLabeled("tenant_jobs_completed", "tenant", tenantOrDefault(j.spec.Tenant), 1)
 		s.metrics.ObserveJobLatency(time.Since(start))
 		s.cfg.Logf("job %s done in %.2fs", j.id, time.Since(start).Seconds())
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
@@ -367,6 +438,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	// Peer endpoints: read-only cache lookups other fleet members use for
+	// peer cache fill. They never trigger computation, and they keep
+	// serving during drain — a draining worker's caches are exactly what
+	// its peers need to pick up its work.
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheGet)
+	mux.HandleFunc("POST /v1/cache/fill", s.handleCacheFill)
+	mux.HandleFunc("GET /v1/ckpt/{key}", s.handleCkptGet)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -398,19 +476,37 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
 	}
+	s.applyFleetHeaders(&canon, r)
 	_, st, err := s.submit(canon)
 	switch {
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusInternalServerError, apiError{err.Error()})
 	case st.Status == StatusDone || st.Deduped:
+		if st.Source != "" {
+			w.Header().Set(HeaderSource, st.Source)
+		}
 		writeJSON(w, http.StatusOK, st)
 	default:
 		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+// applyFleetHeaders threads the fleet request headers into the canonical
+// spec (tenant, copyset hints) and delivers peer-list updates.
+func (s *Server) applyFleetHeaders(canon *CanonicalSpec, r *http.Request) {
+	canon.Tenant = tenantOrDefault(r.Header.Get(HeaderTenant))
+	if hints := r.Header.Get(HeaderCopyset); hints != "" {
+		canon.Hints = splitComma(hints)
+	}
+	if s.cfg.OnPeers != nil {
+		if peers := r.Header.Get(HeaderPeers); peers != "" {
+			s.cfg.OnPeers(splitComma(peers))
+		}
 	}
 }
 
@@ -490,12 +586,13 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
 	}
+	s.applyFleetHeaders(&canon, r)
 	j, _, err := s.submit(canon)
 	switch {
 	case errors.Is(err, errDraining):
 		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 		return
-	case errors.Is(err, errQueueFull):
+	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
 		return
@@ -518,9 +615,108 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusInternalServerError, apiError{st.Error})
 		return
 	}
+	if st.Source != "" {
+		w.Header().Set(HeaderSource, st.Source)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(st.Result)
+}
+
+// ---- peer endpoints (fleet) ----
+
+// handleCacheGet serves raw result bytes straight from the local result
+// cache (memory or disk), 404 on miss. Never computes; never blocks on the
+// queue. This is the supply side of peer cache fill.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !hashPattern.MatchString(hash) {
+		writeJSON(w, http.StatusBadRequest, apiError{"hash must be 64 hex chars"})
+		return
+	}
+	raw, ok := s.cache.Get(hash)
+	if !ok {
+		s.metrics.Inc("peer_serve_misses", 1)
+		writeJSON(w, http.StatusNotFound, apiError{"no cached result for hash"})
+		return
+	}
+	s.metrics.Inc("peer_serves", 1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(raw)
+}
+
+// handleCkptGet serves a warmup checkpoint blob from the local store
+// (memory or disk), 404 on miss. Lookups here never recurse into this
+// worker's own remote-fill hook — Store.Get is local-only by contract.
+func (s *Server) handleCkptGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !hashPattern.MatchString(key) {
+		writeJSON(w, http.StatusBadRequest, apiError{"key must be 64 hex chars"})
+		return
+	}
+	data, ok := s.ckpt.Get(key)
+	if !ok {
+		s.metrics.Inc("ckpt_peer_serve_misses", 1)
+		writeJSON(w, http.StatusNotFound, apiError{"no checkpoint for key"})
+		return
+	}
+	s.metrics.Inc("ckpt_peer_serves", 1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// fillRequest is the body of POST /v1/cache/fill: the coordinator's
+// replication push. The worker pulls the result for hash from the listed
+// source peers and stores it locally, widening the copyset so the result
+// survives the original computer's death.
+type fillRequest struct {
+	Hash    string   `json:"hash"`
+	Sources []string `json:"sources"`
+}
+
+type fillResponse struct {
+	// Filled is true when the result was fetched from a peer by this call;
+	// false with Present=true means it was already held locally.
+	Filled  bool `json:"filled"`
+	Present bool `json:"present"`
+}
+
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, apiError{err.Error()})
+		return
+	}
+	var req fillRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	if !hashPattern.MatchString(req.Hash) {
+		writeJSON(w, http.StatusBadRequest, apiError{"hash must be 64 hex chars"})
+		return
+	}
+	if _, ok := s.cache.Get(req.Hash); ok {
+		writeJSON(w, http.StatusOK, fillResponse{Present: true})
+		return
+	}
+	if s.cfg.PeerFill == nil {
+		writeJSON(w, http.StatusNotImplemented, apiError{"peer fill not configured"})
+		return
+	}
+	raw, ok := s.cfg.PeerFill(r.Context(), req.Hash, req.Sources)
+	if !ok {
+		s.metrics.Inc("peer_fill_misses", 1)
+		writeJSON(w, http.StatusBadGateway, apiError{"no listed source had the result"})
+		return
+	}
+	s.metrics.Inc("peer_fills", 1)
+	if err := s.cache.Put(req.Hash, raw); err != nil {
+		s.cfg.Logf("fill put %s: %v", req.Hash[:12], err)
+	}
+	writeJSON(w, http.StatusOK, fillResponse{Filled: true, Present: true})
 }
 
 // optionsFromQuery assembles canonical-options JSON from ?cus=&accesses=&
@@ -584,10 +780,17 @@ func splitComma(s string) []string {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"status":   "ok",
 		"draining": s.Draining(),
-	})
+	}
+	if s.cfg.FleetID != "" {
+		out["worker_id"] = s.cfg.FleetID
+	}
+	if s.cfg.FleetVersion != "" {
+		out["fleet_version"] = s.cfg.FleetVersion
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -595,13 +798,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Set("cache_hits", hits)
 	s.metrics.Set("cache_misses", misses)
 	s.metrics.Set("cache_disk_hits", diskHits)
-	ckptHits, ckptMisses, ckptDiskHits := s.ckpt.Stats()
+	ckptHits, ckptMisses, ckptDiskHits, ckptRemoteHits := s.ckpt.Stats()
 	s.metrics.Set("ckpt_hits", ckptHits)
 	s.metrics.Set("ckpt_misses", ckptMisses)
 	s.metrics.Set("ckpt_disk_hits", ckptDiskHits)
+	s.metrics.Set("ckpt_remote_hits", ckptRemoteHits)
 	s.mu.Lock()
 	gauges := map[string]int{
-		"queue_depth":   len(s.queue),
+		"queue_depth":   s.queue.Len(),
 		"jobs_inflight": s.running,
 		"jobs_tracked":  len(s.jobs),
 		"cache_entries": s.cache.Len(),

@@ -63,6 +63,15 @@ type CanonicalSpec struct {
 	Scheme  string
 	Options experiment.Options
 	Timeout time.Duration // 0 = server default; not part of the hash
+	// Tenant is the fairness/accounting identity the submission arrived
+	// under (X-Idyll-Tenant header; "default" when absent). Like Timeout it
+	// is execution metadata, never part of the content address: two tenants
+	// submitting the same simulation share one cache entry by design.
+	Tenant string
+	// Hints is the copyset hint that rode in on X-Idyll-Copyset: base URLs
+	// of peers believed to already hold this spec's result, tried by the
+	// peer-fill path before recomputing. Execution metadata, never hashed.
+	Hints []string
 }
 
 // Canonicalize validates s against the same resolvers the CLIs use —
