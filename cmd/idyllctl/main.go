@@ -259,6 +259,9 @@ func cmdFleet(ctx context.Context, c *service.Client) {
 	fmt.Printf("workers:     %d\n", len(st.Workers))
 	for _, w := range st.Workers {
 		line := fmt.Sprintf("  %-12s %-9s %s", w.ID, w.State, w.URL)
+		if w.Breaker != "" && w.Breaker != "closed" {
+			line += fmt.Sprintf("  [breaker %s]", w.Breaker)
+		}
 		if w.Fails > 0 {
 			line += fmt.Sprintf("  (%d consecutive probe failures)", w.Fails)
 		}

@@ -45,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"idyll/internal/fault"
 	"idyll/internal/fleet"
 	"idyll/internal/service"
 )
@@ -65,6 +66,7 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits before cancelling in-flight jobs")
 		quiet        = flag.Bool("quiet", false, "suppress operational logging")
+		faultSpec    = flag.String("fault-spec", "", "deterministic fault-injection schedule, e.g. 'seed=7;cache.disk.read:bitflip:count=1' (empty = disabled)")
 
 		// Fleet: worker side.
 		workerMode = flag.Bool("worker", false, "run as a fleet worker (peer cache fill enabled)")
@@ -81,6 +83,9 @@ func main() {
 		tenantQuota   = flag.Int("tenant-quota", 0, "per-tenant queued-job cap at the coordinator (0 = no cap)")
 		replicas      = flag.Int("replicas", 2, "result copyset size the coordinator replicates toward")
 		probeEvery    = flag.Duration("probe-interval", time.Second, "worker heartbeat cadence")
+		brThreshold   = flag.Int("breaker-threshold", 1, "consecutive dispatch failures that trip a worker's circuit breaker")
+		brCooldown    = flag.Duration("breaker-cooldown", 15*time.Second, "how long a tripped breaker stays open before one half-open trial dispatch")
+		degradedLocal = flag.Bool("degraded-local", true, "run jobs on the coordinator itself when zero workers are routable")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -99,6 +104,15 @@ func main() {
 	logf := log.New(os.Stderr, "idylld: ", log.LstdFlags).Printf
 	if *quiet {
 		logf = func(string, ...any) {}
+	}
+
+	faults, err := fault.Parse(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idylld:", err)
+		os.Exit(2)
+	}
+	if faults != nil {
+		logf("FAULT INJECTION ARMED: %s", faults.Schedule())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -130,17 +144,24 @@ func main() {
 			fmt.Fprintln(os.Stderr, "idylld:", err)
 			os.Exit(2)
 		}
-		coord, err := fleet.NewCoordinator(fleet.Config{
-			Workers:       addrs,
-			TenantWeights: weights,
-			TenantQuota:   *tenantQuota,
-			QueueDepth:    *queueDepth,
-			Replicas:      *replicas,
-			ProbeInterval: *probeEvery,
-			CacheEntries:  *cacheEntries,
-			CacheDir:      *cacheDir,
-			Logf:          logf,
-		})
+		fcfg := fleet.Config{
+			Workers:          addrs,
+			TenantWeights:    weights,
+			TenantQuota:      *tenantQuota,
+			QueueDepth:       *queueDepth,
+			Replicas:         *replicas,
+			ProbeInterval:    *probeEvery,
+			CacheEntries:     *cacheEntries,
+			CacheDir:         *cacheDir,
+			BreakerThreshold: *brThreshold,
+			BreakerCooldown:  *brCooldown,
+			Faults:           faults,
+			Logf:             logf,
+		}
+		if *degradedLocal {
+			fcfg.LocalRunner = service.RunSpecPar(*par)
+		}
+		coord, err := fleet.NewCoordinator(fcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "idylld:", err)
 			os.Exit(1)
@@ -163,14 +184,17 @@ func main() {
 			TTL:            *ttl,
 			MaxBodyBytes:   *maxBody,
 			JobTimeout:     *jobTimeout,
+			Faults:         faults,
 			Logf:           logf,
 		}
+		var filler *fleet.Filler
 		if *workerMode {
 			self := *selfURL
 			if self == "" {
 				self = "http://" + bound
 			}
-			filler := fleet.NewFiller(self, splitNonEmpty(*peers))
+			filler = fleet.NewFiller(self, splitNonEmpty(*peers))
+			filler.SetFaults(faults)
 			cfg.PeerFill = filler.ResultFill
 			cfg.CkptFill = filler.CkptFill
 			cfg.OnPeers = filler.UpdatePeers
@@ -181,6 +205,9 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "idylld:", err)
 			os.Exit(1)
+		}
+		if filler != nil {
+			filler.SetMetrics(srv.Metrics())
 		}
 		handler = srv.Handler()
 		drain = srv.Drain

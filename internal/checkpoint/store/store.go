@@ -15,6 +15,9 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
+
+	"idyll/internal/fault"
+	"idyll/internal/integrity"
 )
 
 // hashPattern guards file names: only lowercase-hex SHA-256 keys ever touch
@@ -36,6 +39,11 @@ type Store struct {
 	misses     uint64 // required a fresh compute
 	diskHits   uint64 // subset of hits that came off disk
 	remoteHits uint64 // subset of hits filled from a peer via the remote hook
+
+	verifyFailures uint64 // blobs that failed checksum-envelope verification
+	quarantined    uint64 // damaged entries moved aside / evicted
+
+	faults *fault.Injector // nil = injection disabled
 
 	// remoteFill, when non-nil, is consulted by GetOrCompute after a memory
 	// and disk miss, before compute runs. It is called WITHOUT the store
@@ -206,8 +214,45 @@ func (s *Store) Stats() (hits, misses, diskHits, remoteHits uint64) {
 	return s.hits, s.misses, s.diskHits, s.remoteHits
 }
 
+// IntegrityStats reports how many blobs failed checksum verification and how
+// many entries were quarantined (on disk or evicted from memory) as damaged.
+func (s *Store) IntegrityStats() (verifyFailures, quarantined uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.verifyFailures, s.quarantined
+}
+
+// SetFaults arms fault-injection sites ckpt.disk.read / ckpt.disk.write.
+// Install before the store sees traffic; a nil injector disables injection.
+func (s *Store) SetFaults(inj *fault.Injector) {
+	s.mu.Lock()
+	s.faults = inj
+	s.mu.Unlock()
+}
+
+// Quarantine evicts key from the memory tier and moves its disk blob aside
+// as damaged. Callers use it when bytes that verified at the envelope level
+// turn out to be undecodable one level up (e.g. checkpoint Resume fails), so
+// the next GetOrCompute recomputes instead of re-serving poison.
+func (s *Store) Quarantine(key string) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.Remove(el)
+		delete(s.entries, key)
+	}
+	s.verifyFailures++
+	s.quarantined++
+	dir := s.dir
+	s.mu.Unlock()
+	if dir != "" && hashPattern.MatchString(key) {
+		quarantineFile(filepath.Join(dir, key))
+	}
+}
+
 // diskGet loads key from the disk tier. Any failure — no directory, bad
-// key, unreadable file — is a plain miss.
+// key, unreadable file, failed checksum verification — is a plain miss;
+// damaged blobs are additionally quarantined to <key>.corrupt. Caller holds
+// s.mu.
 func (s *Store) diskGet(key string) ([]byte, bool) {
 	if s.dir == "" || !hashPattern.MatchString(key) {
 		return nil, false
@@ -215,11 +260,31 @@ func (s *Store) diskGet(key string) ([]byte, bool) {
 	if s.testDiskDelay != nil {
 		s.testDiskDelay()
 	}
-	data, err := os.ReadFile(filepath.Join(s.dir, key))
+	if err := s.faults.Err("ckpt.disk.read"); err != nil {
+		return nil, false
+	}
+	path := filepath.Join(s.dir, key)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
+	blob = s.faults.Mangle("ckpt.disk.read", blob)
+	data, err := integrity.Unwrap(blob)
+	if err != nil {
+		s.verifyFailures++
+		s.quarantined++
+		quarantineFile(path)
+		return nil, false
+	}
 	return data, true
+}
+
+// quarantineFile moves a damaged blob aside as <file>.corrupt, deleting it
+// when even the rename fails.
+func quarantineFile(path string) {
+	if os.Rename(path, path+".corrupt") != nil {
+		os.Remove(path)
+	}
 }
 
 // diskPut writes key atomically (temp file + rename) to the disk tier.
@@ -232,6 +297,10 @@ func (s *Store) diskPut(key string, data []byte) {
 	if s.testDiskDelay != nil {
 		s.testDiskDelay()
 	}
+	if err := s.faults.Err("ckpt.disk.write"); err != nil {
+		return
+	}
+	blob := s.faults.Mangle("ckpt.disk.write", integrity.Wrap(data))
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
 		return
 	}
@@ -240,7 +309,7 @@ func (s *Store) diskPut(key string, data []byte) {
 		return
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
+	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return
 	}

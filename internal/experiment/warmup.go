@@ -80,25 +80,40 @@ func runSystem(o Options, m config.Machine, scheme config.Scheme, trace *workloa
 		}
 		return s.RunRemainderCtx(o.Context(), trace, warmup)
 	}
-	blob, _, err := o.CheckpointStore.GetOrCompute(WarmupKey(m, scheme, warmup, trace),
-		func() ([]byte, error) {
-			scratch, err := newSystem()
-			if err != nil {
-				return nil, err
-			}
-			if err := scratch.RunWarmupCtx(o.Context(), trace, warmup); err != nil {
-				return nil, err
-			}
-			return scratch.Checkpoint()
-		})
-	if err != nil {
-		return nil, err
+	key := WarmupKey(m, scheme, warmup, trace)
+	compute := func() ([]byte, error) {
+		scratch, err := newSystem()
+		if err != nil {
+			return nil, err
+		}
+		if err := scratch.RunWarmupCtx(o.Context(), trace, warmup); err != nil {
+			return nil, err
+		}
+		return scratch.Checkpoint()
+	}
+	// A stored checkpoint that fails to decode must cost a recompute, never
+	// the job: quarantine it and retry once (the store recomputes on the
+	// retry because the bad entry is gone). If even freshly computed bytes
+	// fail to resume, fall through to the straight two-phase run.
+	for attempt := 0; attempt < 2; attempt++ {
+		blob, _, err := o.CheckpointStore.GetOrCompute(key, compute)
+		if err != nil {
+			return nil, err
+		}
+		s, err := newSystem()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Resume(blob); err == nil {
+			return s.RunRemainderCtx(o.Context(), trace, warmup)
+		}
+		o.CheckpointStore.Quarantine(key)
 	}
 	s, err := newSystem()
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Resume(blob); err != nil {
+	if err := s.RunWarmupCtx(o.Context(), trace, warmup); err != nil {
 		return nil, err
 	}
 	return s.RunRemainderCtx(o.Context(), trace, warmup)

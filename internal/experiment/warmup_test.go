@@ -111,6 +111,55 @@ func TestCanonicalJSONOmitsZeroWarmup(t *testing.T) {
 	}
 }
 
+// A checkpoint that verifies at the store level but fails to decode (poison
+// bytes) must cost a recompute, never the job: the bad entry is quarantined,
+// the warmup recomputed, and the results stay identical to a clean run.
+func TestCorruptCheckpointRecoversAndMatches(t *testing.T) {
+	o := QuickOptions()
+	o.WarmupAccessesPerCU = 50
+	o.Apps = []string{"PR"}
+	m := config.Default()
+
+	st := store.New(8, "")
+	o.CheckpointStore = st
+	clean, err := Run(m, config.IDYLL(), "PR", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reconstruct the key exactly as RunParams derives it.
+	mm := m
+	if o.CUsPerGPU > 0 {
+		mm.CUsPerGPU = o.CUsPerGPU
+	}
+	if o.CounterThreshold > 0 {
+		mm.AccessCounterThreshold = o.CounterThreshold
+	}
+	trace := workload.Generate(mustApp(t, "PR"), mm.NumGPUs, mm.CUsPerGPU, o.AccessesPerCU, o.Seed)
+	key := WarmupKey(mm, config.IDYLL(), o.WarmupAccessesPerCU, trace)
+	if _, ok := st.Get(key); !ok {
+		t.Fatal("reconstructed warmup key not in store; test setup is wrong")
+	}
+
+	// Poison the stored checkpoint with bytes Resume cannot decode.
+	st.Put(key, []byte("not a checkpoint"))
+
+	again, err := Run(m, config.IDYLL(), "PR", o)
+	if err != nil {
+		t.Fatalf("run with poisoned checkpoint failed instead of recovering: %v", err)
+	}
+	if !reflect.DeepEqual(clean, again) {
+		t.Fatal("recovered run diverges from the clean run")
+	}
+	if _, q := st.IntegrityStats(); q < 1 {
+		t.Fatalf("quarantined = %d, want >= 1", q)
+	}
+	// The recompute repaired the store in place.
+	if blob, ok := st.Get(key); !ok || len(blob) <= len("not a checkpoint") {
+		t.Fatalf("store not repaired: ok=%v len=%d", ok, len(blob))
+	}
+}
+
 func mustApp(t *testing.T, abbr string) workload.Params {
 	t.Helper()
 	p, err := workload.App(abbr)

@@ -1,0 +1,366 @@
+// Package fault is a seeded, deterministic fault-injection layer for the
+// idyll service stack. Production code names *injection sites* — stable
+// strings like "cache.disk.read" or "peer.fill" — and calls the nil-safe
+// hooks (Err, Mangle, Delay, Panic) at each site. A schedule parsed from a
+// -fault-spec string decides, deterministically from its seed, which calls
+// actually misbehave. With no schedule armed the *Injector is nil and every
+// hook is a two-instruction nil check: zero overhead when disabled.
+//
+// Spec grammar (semicolon-separated fields, whitespace ignored):
+//
+//	spec  := field (';' field)*
+//	field := "seed=" uint64 | rule
+//	rule  := site ':' kind [':' params]
+//	kind  := "error" | "bitflip" | "truncate" | "delay=" DURATION | "panic"
+//	params:= param (',' param)*
+//	param := "p=" FLOAT | "count=" INT | "after=" INT
+//
+// Example:
+//
+//	seed=7;cache.disk.read:bitflip:count=1;fleet.dispatch:delay=50ms:p=0.2
+//
+// flips one bit in the first result-cache disk read and delays ~20% of
+// dispatch RPCs by 50ms. "count=N" caps how many times a rule fires,
+// "after=N" skips the first N matching operations, and "p=F" fires each
+// eligible operation with probability F (default 1). Each rule draws from
+// its own splitmix64 stream seeded from (seed, site, rule index), so a
+// given spec misbehaves identically on every run — a red chaos run is
+// reproducible from the spec string alone.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every error the injector fabricates, so tests
+// and callers can errors.Is-classify injected failures.
+var ErrInjected = errors.New("injected fault")
+
+// Kind enumerates what a rule does when it fires.
+type Kind string
+
+const (
+	KindError    Kind = "error"    // Err returns a synthetic failure
+	KindBitflip  Kind = "bitflip"  // Mangle flips one PRNG-chosen bit
+	KindTruncate Kind = "truncate" // Mangle cuts the payload short (torn write)
+	KindDelay    Kind = "delay"    // Delay sleeps for the configured duration
+	KindPanic    Kind = "panic"    // Panic panics (worker crash)
+)
+
+// Rule is one parsed schedule entry.
+type Rule struct {
+	Site  string
+	Kind  Kind
+	Delay time.Duration // KindDelay only
+	P     float64       // fire probability per eligible op (default 1)
+	Count int           // max fires (0 = unlimited)
+	After int           // skip the first N matching ops
+}
+
+type ruleState struct {
+	Rule
+	rng   uint64 // splitmix64 state, private to this rule
+	seen  int
+	fired int
+}
+
+// Injector holds an armed schedule. The zero value is not useful; obtain
+// one from Parse. A nil *Injector is valid and inert — every method is
+// nil-safe — so callers thread it unconditionally.
+type Injector struct {
+	mu    sync.Mutex
+	spec  string
+	seed  uint64
+	sites map[string][]*ruleState
+	total uint64
+	sleep func(time.Duration) // test seam
+}
+
+// Parse builds an Injector from a -fault-spec string. An empty spec yields
+// (nil, nil): injection disabled.
+func Parse(spec string) (*Injector, error) {
+	trimmed := strings.TrimSpace(spec)
+	if trimmed == "" {
+		return nil, nil
+	}
+	inj := &Injector{
+		spec:  trimmed,
+		seed:  1,
+		sites: make(map[string][]*ruleState),
+		sleep: time.Sleep,
+	}
+	var rules []Rule
+	for _, field := range strings.Split(trimmed, ";") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(field, "seed="); ok {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: bad seed %q", v)
+			}
+			inj.seed = n
+			continue
+		}
+		r, err := parseRule(field)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("fault: spec %q names no rules", trimmed)
+	}
+	for i, r := range rules {
+		inj.sites[r.Site] = append(inj.sites[r.Site],
+			&ruleState{Rule: r, rng: ruleSeed(inj.seed, r.Site, i)})
+	}
+	return inj, nil
+}
+
+func parseRule(s string) (Rule, error) {
+	parts := strings.SplitN(s, ":", 3)
+	if len(parts) < 2 || parts[0] == "" || parts[1] == "" {
+		return Rule{}, fmt.Errorf("fault: rule %q, want site:kind[:params]", s)
+	}
+	r := Rule{Site: parts[0], P: 1}
+	if v, ok := strings.CutPrefix(parts[1], "delay="); ok {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return Rule{}, fmt.Errorf("fault: bad delay %q in rule %q", v, s)
+		}
+		r.Kind, r.Delay = KindDelay, d
+	} else {
+		switch k := Kind(parts[1]); k {
+		case KindError, KindBitflip, KindTruncate, KindPanic:
+			r.Kind = k
+		default:
+			return Rule{}, fmt.Errorf("fault: unknown kind %q in rule %q", parts[1], s)
+		}
+	}
+	if len(parts) == 3 {
+		for _, p := range strings.Split(parts[2], ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok {
+				return Rule{}, fmt.Errorf("fault: bad param %q in rule %q", p, s)
+			}
+			switch k {
+			case "p":
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil || f < 0 || f > 1 {
+					return Rule{}, fmt.Errorf("fault: p=%q out of [0,1] in rule %q", v, s)
+				}
+				r.P = f
+			case "count":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return Rule{}, fmt.Errorf("fault: bad count=%q in rule %q", v, s)
+				}
+				r.Count = n
+			case "after":
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return Rule{}, fmt.Errorf("fault: bad after=%q in rule %q", v, s)
+				}
+				r.After = n
+			default:
+				return Rule{}, fmt.Errorf("fault: unknown param %q in rule %q", k, s)
+			}
+		}
+	}
+	return r, nil
+}
+
+// ruleSeed mixes (seed, site, index) into an independent splitmix64 stream.
+func ruleSeed(seed uint64, site string, idx int) uint64 {
+	h := seed ^ 0xcbf29ce484222325
+	for i := 0; i < len(site); i++ {
+		h = (h ^ uint64(site[i])) * 0x100000001b3
+	}
+	return h ^ uint64(idx+1)*0x9e3779b97f4a7c15
+}
+
+func next(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fireLocked finds the first rule at site with one of the wanted kinds
+// that elects to fire for this operation. Caller holds i.mu.
+func (i *Injector) fireLocked(site string, want ...Kind) *ruleState {
+	for _, st := range i.sites[site] {
+		match := false
+		for _, k := range want {
+			if st.Kind == k {
+				match = true
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		st.seen++
+		if st.seen <= st.After {
+			continue
+		}
+		if st.Count > 0 && st.fired >= st.Count {
+			continue
+		}
+		if st.P < 1 && float64(next(&st.rng)>>11)/(1<<53) >= st.P {
+			continue
+		}
+		st.fired++
+		i.total++
+		return st
+	}
+	return nil
+}
+
+// Err reports an injected failure for site, or nil. Call it where a real
+// I/O or network error could surface.
+func (i *Injector) Err(site string) error {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if st := i.fireLocked(site, KindError); st != nil {
+		return fmt.Errorf("%w: %s at %s (fire %d)", ErrInjected, st.Kind, site, st.fired)
+	}
+	return nil
+}
+
+// Mangle corrupts data per the site's bitflip/truncate rules, returning a
+// fresh slice when it fires and the input untouched otherwise. Call it on
+// bytes just read from (or about to be written to) an untrusted medium.
+func (i *Injector) Mangle(site string, data []byte) []byte {
+	if i == nil || len(data) == 0 {
+		return data
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	st := i.fireLocked(site, KindBitflip, KindTruncate)
+	if st == nil {
+		return data
+	}
+	switch st.Kind {
+	case KindBitflip:
+		out := append([]byte(nil), data...)
+		bit := int(next(&st.rng) % uint64(len(out)*8))
+		out[bit/8] ^= 1 << (bit % 8)
+		return out
+	case KindTruncate:
+		return append([]byte(nil), data[:next(&st.rng)%uint64(len(data))]...)
+	}
+	return data
+}
+
+// Delay sleeps for the site's configured delay when its rule fires.
+func (i *Injector) Delay(site string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	st := i.fireLocked(site, KindDelay)
+	var d time.Duration
+	if st != nil {
+		d = st.Rule.Delay
+	}
+	sleep := i.sleep
+	i.mu.Unlock()
+	if st != nil && d > 0 {
+		sleep(d)
+	}
+}
+
+// Panic crashes the goroutine when the site's panic rule fires, simulating
+// a worker dying mid-job. The panic message names the site and ErrInjected.
+func (i *Injector) Panic(site string) {
+	if i == nil {
+		return
+	}
+	i.mu.Lock()
+	st := i.fireLocked(site, KindPanic)
+	i.mu.Unlock()
+	if st != nil {
+		panic(fmt.Sprintf("%v: panic at %s (fire %d)", ErrInjected, site, st.fired))
+	}
+}
+
+// Fired returns how many times rules at site have fired.
+func (i *Injector) Fired(site string) int {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	n := 0
+	for _, st := range i.sites[site] {
+		n += st.fired
+	}
+	return n
+}
+
+// TotalFired returns the number of faults injected across all sites.
+func (i *Injector) TotalFired() uint64 {
+	if i == nil {
+		return 0
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.total
+}
+
+// FiredBySite returns per-site fire counts, for /metrics export.
+func (i *Injector) FiredBySite() map[string]uint64 {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[string]uint64, len(i.sites))
+	for site, rules := range i.sites {
+		var n uint64
+		for _, st := range rules {
+			n += uint64(st.fired)
+		}
+		if n > 0 {
+			out[site] = n
+		}
+	}
+	return out
+}
+
+// Schedule renders the armed schedule (for logging at daemon startup).
+func (i *Injector) Schedule() string {
+	if i == nil {
+		return ""
+	}
+	return i.spec
+}
+
+// Sites returns the sorted site names the schedule arms. Handy for
+// validating a spec against the set of sites a binary actually has.
+func (i *Injector) Sites() []string {
+	if i == nil {
+		return nil
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make([]string, 0, len(i.sites))
+	for s := range i.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

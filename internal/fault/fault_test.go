@@ -1,0 +1,243 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if err := inj.Err("x"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("hello")
+	if got := inj.Mangle("x", data); !bytes.Equal(got, data) {
+		t.Fatalf("nil Mangle changed data: %q", got)
+	}
+	inj.Delay("x")
+	inj.Panic("x")
+	if inj.Fired("x") != 0 || inj.TotalFired() != 0 {
+		t.Fatal("nil injector reports fires")
+	}
+	if inj.Schedule() != "" || inj.Sites() != nil || inj.FiredBySite() != nil {
+		t.Fatal("nil injector reports a schedule")
+	}
+}
+
+func TestParseEmptyIsDisabled(t *testing.T) {
+	inj, err := Parse("  ")
+	if err != nil || inj != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", inj, err)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"seed=9",               // no rules
+		"cache.disk.read",      // no kind
+		"a:explode",            // unknown kind
+		"a:error:p=2",          // p out of range
+		"a:error:count=-1",     // negative count
+		"a:error:bogus=1",      // unknown param
+		"a:delay=notaduration", // bad duration
+		"seed=abc;a:error",     // bad seed
+		"a:error:p",            // param without value
+		":error",               // empty site
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+func TestErrFiresWithCountAndAfter(t *testing.T) {
+	inj, err := Parse("seed=3;io:error:count=2,after=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errs int
+	for i := 0; i < 10; i++ {
+		if e := inj.Err("io"); e != nil {
+			if !errors.Is(e, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", e)
+			}
+			if i == 0 {
+				t.Fatal("after=1 did not skip the first op")
+			}
+			errs++
+		}
+	}
+	if errs != 2 {
+		t.Fatalf("count=2 fired %d times", errs)
+	}
+	if inj.Fired("io") != 2 || inj.TotalFired() != 2 {
+		t.Fatalf("Fired=%d Total=%d, want 2/2", inj.Fired("io"), inj.TotalFired())
+	}
+	if inj.Err("other.site") != nil {
+		t.Fatal("unarmed site fired")
+	}
+}
+
+func TestMangleBitflipAndTruncate(t *testing.T) {
+	inj, err := Parse("seed=5;flip:bitflip:count=1;cut:truncate:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bytes.Repeat([]byte{0xAA}, 64)
+	flipped := inj.Mangle("flip", orig)
+	if bytes.Equal(flipped, orig) {
+		t.Fatal("bitflip left data intact")
+	}
+	diff := 0
+	for i := range orig {
+		diff += popcount(orig[i] ^ flipped[i])
+	}
+	if diff != 1 {
+		t.Fatalf("bitflip changed %d bits, want exactly 1", diff)
+	}
+	if !bytes.Equal(bytes.Repeat([]byte{0xAA}, 64), orig) {
+		t.Fatal("Mangle mutated the caller's slice")
+	}
+	// Count exhausted: second call is a no-op.
+	if again := inj.Mangle("flip", orig); !bytes.Equal(again, orig) {
+		t.Fatal("count=1 bitflip fired twice")
+	}
+	cut := inj.Mangle("cut", orig)
+	if len(cut) >= len(orig) {
+		t.Fatalf("truncate produced %d bytes from %d", len(cut), len(orig))
+	}
+	if !bytes.Equal(cut, orig[:len(cut)]) {
+		t.Fatal("truncate is not a prefix")
+	}
+}
+
+func TestDeterministicAcrossInstances(t *testing.T) {
+	spec := "seed=42;net:error:p=0.3;data:bitflip:p=0.5"
+	run := func() ([]bool, [][]byte) {
+		inj, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var errs []bool
+		var blobs [][]byte
+		payload := []byte("the quick brown fox jumps over the lazy dog")
+		for i := 0; i < 200; i++ {
+			errs = append(errs, inj.Err("net") != nil)
+			blobs = append(blobs, inj.Mangle("data", payload))
+		}
+		return errs, blobs
+	}
+	e1, b1 := run()
+	e2, b2 := run()
+	fired := 0
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("error schedule diverges at op %d", i)
+		}
+		if !bytes.Equal(b1[i], b2[i]) {
+			t.Fatalf("mangle schedule diverges at op %d", i)
+		}
+		if e1[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(e1) {
+		t.Fatalf("p=0.3 fired %d/%d times; schedule looks degenerate", fired, len(e1))
+	}
+}
+
+func TestDelayUsesConfiguredDuration(t *testing.T) {
+	inj, err := Parse("slow:delay=250ms:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slept time.Duration
+	inj.sleep = func(d time.Duration) { slept += d }
+	inj.Delay("slow")
+	inj.Delay("slow")
+	if slept != 250*time.Millisecond {
+		t.Fatalf("slept %v, want 250ms once", slept)
+	}
+}
+
+func TestPanicFires(t *testing.T) {
+	inj, err := Parse("boom:panic:count=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic rule did not panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic message %q does not name the site", r)
+		}
+	}()
+	inj.Panic("boom")
+}
+
+func TestSitesAndSchedule(t *testing.T) {
+	spec := "seed=1;b:error;a:bitflip"
+	inj, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := inj.Sites()
+	if len(sites) != 2 || sites[0] != "a" || sites[1] != "b" {
+		t.Fatalf("Sites = %v", sites)
+	}
+	if inj.Schedule() != spec {
+		t.Fatalf("Schedule = %q", inj.Schedule())
+	}
+	if got := inj.FiredBySite(); len(got) != 0 {
+		t.Fatalf("FiredBySite before any op = %v", got)
+	}
+	inj.Err("b")
+	if got := inj.FiredBySite(); got["b"] != 1 {
+		t.Fatalf("FiredBySite after fire = %v", got)
+	}
+}
+
+func popcount(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// FuzzParseSpec checks that arbitrary spec strings never panic the parser
+// and that accepted schedules are safe to exercise.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("seed=7;cache.disk.read:bitflip:count=1")
+	f.Add("a:error:p=0.5,count=3,after=2;b:delay=10ms")
+	f.Add("x:truncate")
+	f.Add(";;;")
+	f.Add("seed=18446744073709551615;s:panic")
+	f.Fuzz(func(t *testing.T, spec string) {
+		inj, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if inj == nil && strings.TrimSpace(spec) != "" {
+			t.Fatalf("Parse(%q) = nil, nil for non-blank spec", spec)
+		}
+		if inj == nil {
+			return
+		}
+		inj.sleep = func(time.Duration) {}
+		for _, site := range inj.Sites() {
+			func() {
+				defer func() { recover() }() // panic rules may legitimately fire
+				inj.Err(site)
+				inj.Mangle(site, []byte("payload"))
+				inj.Delay(site)
+				inj.Panic(site)
+			}()
+		}
+	})
+}

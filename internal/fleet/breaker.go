@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: traffic flows normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive infrastructure failures tripped the breaker;
+	// no dispatches until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and exactly one trial dispatch
+	// has been reserved; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-worker circuit breaker over *infrastructure* failures
+// (connection refused, relay errors, probe timeouts — never deterministic
+// job failures, which re-routing would only duplicate). It trips open after
+// threshold consecutive failures; after cooldown, TryProbe releases a single
+// half-open trial dispatch whose outcome decides between closing and
+// re-opening. Safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test seam
+
+	state    BreakerState
+	consec   int // consecutive failures while closed
+	openedAt time.Time
+	trips    uint64
+}
+
+// NewBreaker returns a closed breaker tripping after threshold consecutive
+// failures (minimum 1) and staying open for cooldown (default 15s) before a
+// half-open trial.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 15 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Fail records one infrastructure failure and reports whether this call
+// tripped the breaker open. A failed half-open trial re-opens the breaker
+// (restarting the cooldown) without counting as a new trip.
+func (b *Breaker) Fail() (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	case BreakerClosed:
+		if b.consec >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+			return true
+		}
+	}
+	return false
+}
+
+// Success records a successful dispatch or probe: the breaker closes and the
+// failure streak resets, whatever state it was in.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.consec = 0
+	b.state = BreakerClosed
+	b.mu.Unlock()
+}
+
+// TryProbe reserves the single half-open trial: it returns true exactly once
+// per cooldown expiry, moving the breaker open → half-open. Callers that get
+// true must follow with a dispatch whose outcome lands in Fail or Success.
+func (b *Breaker) TryProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerOpen || b.now().Sub(b.openedAt) < b.cooldown {
+		return false
+	}
+	b.state = BreakerHalfOpen
+	return true
+}
+
+// Allow reports whether normal (non-trial) traffic may flow.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == BreakerClosed
+}
+
+// State returns the breaker's current position.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has tripped closed → open.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

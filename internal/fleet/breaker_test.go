@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// Full breaker lifecycle with an injected clock: trip at the threshold,
+// refuse traffic while open, release exactly one half-open trial per
+// cooldown expiry, and distinguish a failed trial (re-open, no new trip)
+// from a successful one (close, streak reset).
+func TestBreakerTripHalfOpenRecovery(t *testing.T) {
+	b := NewBreaker(2, time.Minute)
+	now := time.Unix(0, 0)
+	b.now = func() time.Time { return now }
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker is not closed")
+	}
+	if b.Fail() {
+		t.Fatal("tripped below threshold")
+	}
+	if !b.Fail() {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() || b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("after trip: allow=%v state=%s trips=%d", b.Allow(), b.State(), b.Trips())
+	}
+
+	// Cooldown gates the half-open trial, and exactly one is released.
+	if b.TryProbe() {
+		t.Fatal("trial released before cooldown")
+	}
+	now = now.Add(time.Minute)
+	if !b.TryProbe() {
+		t.Fatal("trial refused after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	if b.TryProbe() {
+		t.Fatal("second concurrent trial released")
+	}
+
+	// A failed trial re-opens the breaker without counting a new trip.
+	if b.Fail() {
+		t.Fatal("failed trial reported as a fresh trip")
+	}
+	if b.State() != BreakerOpen || b.Trips() != 1 {
+		t.Fatalf("after failed trial: state=%s trips=%d", b.State(), b.Trips())
+	}
+	// ... and restarts the cooldown from the failure.
+	if b.TryProbe() {
+		t.Fatal("trial released without a fresh cooldown")
+	}
+	now = now.Add(time.Minute)
+	if !b.TryProbe() {
+		t.Fatal("trial refused after second cooldown")
+	}
+
+	// A successful trial closes the breaker and resets the streak: the next
+	// single failure (threshold 2) must not trip it.
+	b.Success()
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("success did not close the breaker")
+	}
+	if b.Fail() {
+		t.Fatal("tripped on first failure after recovery")
+	}
+}
+
+func TestBreakerDefaultsClamp(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != 1 || b.cooldown != 15*time.Second {
+		t.Fatalf("defaults: threshold=%d cooldown=%s", b.threshold, b.cooldown)
+	}
+	if !b.Fail() {
+		t.Fatal("threshold 1 did not trip on the first failure")
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for state, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+		BreakerState(9): "unknown",
+	} {
+		if got := state.String(); got != want {
+			t.Fatalf("State(%d) = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"idyll/internal/fault"
 	"idyll/internal/service"
 )
 
@@ -55,6 +56,22 @@ type Config struct {
 	CacheDir     string
 	// CopysetEntries bounds the copyset tracker (default 4096).
 	CopysetEntries int
+	// BreakerThreshold is how many consecutive infrastructure failures trip
+	// a worker's circuit breaker open (default 1: the first failure both
+	// trips the breaker and marks the worker suspect).
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped breaker stays open before a
+	// single half-open trial dispatch is allowed (default 15s).
+	BreakerCooldown time.Duration
+	// LocalRunner, when non-nil, is the degraded-mode fallback: if zero
+	// workers are routable, the coordinator runs the job itself instead of
+	// failing it. Availability over throughput — a coordinator alone is a
+	// slow fleet, not a dead one.
+	LocalRunner service.RunFunc
+	// Faults arms deterministic fault injection (internal/fault) on the
+	// coordinator's own disk tiers and on worker dispatch clients (sites
+	// "fleet.dispatch" and "fleet.dispatch.payload"). Nil disables.
+	Faults *fault.Injector
 	// Logf receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -123,6 +140,14 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	c.members = NewMembership(cfg.FailLimit, cfg.ProbeTimeout,
 		func(id string) { c.copysets.DropWorker(id) }, cfg.Logf)
+	c.members.SetBreakerConfig(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	c.members.SetFaults(cfg.Faults)
+	// The closure runs only from MarkFailed, which nothing calls before
+	// NewServer below assigns c.srv.
+	c.members.OnTrip(func(id string) {
+		c.srv.Metrics().Inc("fleet_breaker_trips", 1)
+		c.srv.Metrics().IncLabeled("fleet_breaker_trips_worker", "worker", id, 1)
+	})
 	for _, w := range cfg.Workers {
 		if w.ID == "" || w.URL == "" {
 			return nil, fmt.Errorf("fleet: worker needs both id and url, got %+v", w)
@@ -138,6 +163,7 @@ func NewCoordinator(cfg Config) (*Coordinator, error) {
 		CacheDir:     cfg.CacheDir,
 		FleetID:      "coordinator",
 		FleetVersion: VersionString,
+		Faults:       cfg.Faults,
 		Logf:         cfg.Logf,
 	})
 	if err != nil {
@@ -247,6 +273,10 @@ func (c *Coordinator) dispatch(ctx context.Context, spec service.CanonicalSpec, 
 			c.cfg.Logf("fleet: job %s on %s failed (%v), re-routing", hash[:12], target.ID, err)
 			continue
 		}
+		// The worker answered over HTTP, whatever the job's outcome:
+		// infrastructure is fine, so its breaker closes and a suspect
+		// member returns to the routable pool.
+		c.members.MarkSucceeded(target.ID)
 		switch st.Status {
 		case service.StatusDone:
 			c.copysets.Add(hash, target.ID)
@@ -269,6 +299,14 @@ func (c *Coordinator) dispatch(ctx context.Context, spec service.CanonicalSpec, 
 			continue
 		}
 	}
+	// Degraded mode: with zero routable workers and an embedded runner, the
+	// coordinator computes the job itself. Content addressing makes this
+	// safe — a locally computed result is byte-identical to a worker's.
+	if c.cfg.LocalRunner != nil && len(c.members.Routable()) == 0 {
+		c.srv.Metrics().Inc("fleet_degraded_local_runs", 1)
+		c.cfg.Logf("fleet: no routable worker for job %s, running degraded-local", hash[:12])
+		return c.cfg.LocalRunner(ctx, spec, progress)
+	}
 	if lastErr == nil {
 		lastErr = errors.New("no routable worker")
 	}
@@ -287,6 +325,16 @@ func (c *Coordinator) nextTarget(hash string, tried map[string]bool) *Member {
 	for _, id := range Rank(hash, ids) {
 		if !tried[id] {
 			return byID[id]
+		}
+	}
+	// No alive member can take the job: offer it to a suspect member whose
+	// breaker cooldown has elapsed, as that breaker's single half-open
+	// trial. The dispatch outcome lands in MarkSucceeded/MarkFailed, which
+	// close or re-open the breaker.
+	for _, mb := range c.members.HalfOpenCandidates() {
+		if !tried[mb.ID] && mb.Breaker.TryProbe() {
+			c.cfg.Logf("fleet: half-open trial dispatch to %s for %s", mb.ID, hash[:12])
+			return mb
 		}
 	}
 	return nil
@@ -386,7 +434,7 @@ func (c *Coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
 // the whole document's line order is a pure function of the key set.
 func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fleetVals := make(map[string]string)
-	var alive, suspect, draining, dead int
+	var alive, suspect, draining, dead, breakersOpen int
 	for _, wk := range c.members.Snapshot() {
 		switch wk.State {
 		case "alive":
@@ -398,11 +446,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		case "dead":
 			dead++
 		}
+		if wk.Breaker == "open" || wk.Breaker == "half-open" {
+			breakersOpen++
+		}
 	}
 	fleetVals["workers_alive"] = fmt.Sprintf("%d", alive)
 	fleetVals["workers_suspect"] = fmt.Sprintf("%d", suspect)
 	fleetVals["workers_draining"] = fmt.Sprintf("%d", draining)
 	fleetVals["workers_dead"] = fmt.Sprintf("%d", dead)
+	fleetVals["breakers_open"] = fmt.Sprintf("%d", breakersOpen)
 	fleetVals["copysets_tracked"] = fmt.Sprintf("%d", c.copysets.Len())
 
 	workerVals := make(map[string]string)

@@ -440,6 +440,143 @@ func TestCoordinatorTenantQuotaSheds(t *testing.T) {
 	}
 }
 
+// With zero routable workers and a LocalRunner configured, the coordinator
+// runs the job itself (degraded mode) instead of failing it, and counts the
+// fallback in /metrics.
+func TestCoordinatorDegradedLocalRun(t *testing.T) {
+	var local atomic.Int64
+	coord, err := NewCoordinator(Config{
+		ProbeInterval: time.Hour, // keep the probe loop out of the way
+		LocalRunner: func(ctx context.Context, spec service.CanonicalSpec,
+			progress func(int, int, string)) ([]byte, error) {
+			local.Add(1)
+			h, err := spec.Hash()
+			if err != nil {
+				return nil, err
+			}
+			return []byte(fmt.Sprintf(`{"hash":%q}`, h)), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		coord.Drain(ctx)
+		hs.Close()
+	})
+
+	st, err := service.NewClient(hs.URL).SubmitAndWait(context.Background(), cellSpec(11), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != service.StatusDone {
+		t.Fatalf("status = %s (%s), want done via degraded-local", st.Status, st.Error)
+	}
+	if local.Load() != 1 {
+		t.Fatalf("local runner ran %d times, want 1", local.Load())
+	}
+	if got := coord.Server().Metrics().Counter("fleet_degraded_local_runs"); got != 1 {
+		t.Fatalf("fleet_degraded_local_runs = %d, want 1", got)
+	}
+}
+
+// Without a LocalRunner the same situation still fails cleanly.
+func TestCoordinatorNoWorkersNoLocalRunnerFails(t *testing.T) {
+	coord, err := NewCoordinator(Config{ProbeInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		coord.Drain(ctx)
+		hs.Close()
+	})
+	st, err := service.NewClient(hs.URL).SubmitAndWait(context.Background(), cellSpec(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != service.StatusFailed || !strings.Contains(st.Error, "no routable worker") {
+		t.Fatalf("status = %s (%s), want failed with no routable worker", st.Status, st.Error)
+	}
+}
+
+// An open breaker keeps a suspect worker out of routing until the cooldown
+// elapses, then nextTarget releases exactly one half-open trial dispatch,
+// and a success returns the worker to the routable pool.
+func TestCoordinatorHalfOpenTrialDispatch(t *testing.T) {
+	coord, err := NewCoordinator(Config{
+		Workers:         []WorkerAddr{{ID: "w1", URL: "http://127.0.0.1:1"}},
+		FailLimit:       10,
+		ProbeInterval:   time.Hour,
+		BreakerCooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		coord.Drain(ctx)
+	})
+
+	coord.Members().MarkFailed("w1") // suspect, breaker open
+	hash := mustHash(t, cellSpec(7))
+	if tgt := coord.nextTarget(hash, map[string]bool{}); tgt != nil {
+		t.Fatalf("open breaker received traffic: %s", tgt.ID)
+	}
+	if got := coord.Server().Metrics().Counter("fleet_breaker_trips"); got != 1 {
+		t.Fatalf("fleet_breaker_trips = %d, want 1", got)
+	}
+
+	// Let the cooldown elapse via the breaker's clock seam.
+	mb, _ := coord.Members().Get("w1")
+	mb.Breaker.now = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	tgt := coord.nextTarget(hash, map[string]bool{})
+	if tgt == nil || tgt.ID != "w1" {
+		t.Fatalf("half-open trial not released: %v", tgt)
+	}
+	// The single trial is reserved; a second concurrent job gets nothing.
+	if coord.nextTarget(hash, map[string]bool{}) != nil {
+		t.Fatal("second concurrent half-open trial released")
+	}
+	coord.Members().MarkSucceeded("w1")
+	if len(coord.Members().Routable()) != 1 {
+		t.Fatal("worker not routable after successful trial")
+	}
+}
+
+// End to end: a worker killed mid-fleet trips its breaker (visible in
+// /metrics and /v1/fleet/status) while the job completes elsewhere.
+func TestCoordinatorBreakerTripOnWorkerDeath(t *testing.T) {
+	coord, c, workers := newTestFleet(t, Config{Replicas: 1}, 2)
+
+	hash := mustHash(t, cellSpec(7))
+	first := Rank(hash, []string{"w1", "w2"})[0]
+	for _, w := range workers {
+		if w.id == first {
+			w.hs.CloseClientConnections()
+			w.hs.Close()
+		}
+	}
+	st, err := c.SubmitAndWait(context.Background(), cellSpec(7), nil)
+	if err != nil || st.Status != service.StatusDone {
+		t.Fatalf("job lost to worker death: %v %+v", err, st)
+	}
+	if got := coord.Server().Metrics().Counter("fleet_breaker_trips"); got < 1 {
+		t.Fatalf("fleet_breaker_trips = %d, want >= 1", got)
+	}
+	for _, wk := range coord.Members().Snapshot() {
+		if wk.ID == first && wk.Breaker == "closed" {
+			t.Fatalf("dead worker's breaker still closed: %+v", wk)
+		}
+	}
+}
+
 // ---- helpers ----
 
 func mustHash(t *testing.T, spec service.JobSpec) string {

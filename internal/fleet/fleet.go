@@ -55,10 +55,11 @@ type JoinResponse struct {
 // WorkerInfo is one fleet member's externally visible state
 // (GET /v1/fleet/status).
 type WorkerInfo struct {
-	ID    string `json:"id"`
-	URL   string `json:"url"`
-	State string `json:"state"`
-	Fails int    `json:"fails,omitempty"`
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	State   string `json:"state"`
+	Fails   int    `json:"fails,omitempty"`
+	Breaker string `json:"breaker,omitempty"`
 }
 
 // StatusResponse is the GET /v1/fleet/status payload.

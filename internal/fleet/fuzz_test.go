@@ -1,0 +1,26 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCheckVersion guards the join/probe version gate: no input panics it,
+// and it accepts exactly the current protocol string or a minor revision of
+// it ("idyll-fleet/1.x") — anything else, including prefixes like
+// "idyll-fleet/10", must be rejected.
+func FuzzCheckVersion(f *testing.F) {
+	f.Add(VersionString)
+	f.Add(VersionString + ".3")
+	f.Add("idyll-fleet/10")
+	f.Add("")
+	f.Add("other/1")
+	f.Add(VersionString + "x")
+	f.Fuzz(func(t *testing.T, v string) {
+		err := CheckVersion(v)
+		compatible := v == VersionString || strings.HasPrefix(v, VersionString+".")
+		if (err == nil) != compatible {
+			t.Fatalf("CheckVersion(%q) = %v, want compatible=%v", v, err, compatible)
+		}
+	})
+}

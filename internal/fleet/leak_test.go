@@ -1,0 +1,61 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Draining a coordinator while probes are in flight against a slow worker
+// must not leave goroutines behind: the probe loop, the dispatch workers,
+// and the gc loop all stop. Run with -race in CI.
+func TestCoordinatorDrainMidProbeLeaksNoGoroutines(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(100 * time.Millisecond)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"status":"ok","worker_id":"w1","fleet_version":"` + VersionString + `"}`))
+	}))
+	defer slow.Close()
+
+	runtime.GC()
+	before := runtime.NumGoroutine()
+
+	coord, err := NewCoordinator(Config{
+		Workers:       []WorkerAddr{{ID: "w1", URL: slow.URL}},
+		ProbeInterval: 5 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let at least one probe be mid-flight against the slow healthz.
+	time.Sleep(30 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := coord.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	slow.CloseClientConnections()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+			tr.CloseIdleConnections()
+		}
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"idyll/internal/fault"
 	"idyll/internal/service"
 )
 
@@ -54,6 +55,9 @@ type Member struct {
 	// Probe is the non-retrying client used for health checks and metric
 	// scrapes — a prober supplies its own cadence and failure accounting.
 	Probe *service.Client
+	// Breaker is this worker's circuit breaker over infrastructure
+	// failures; it has its own lock and may be used without Membership's.
+	Breaker *Breaker
 
 	state State
 	fails int
@@ -68,7 +72,12 @@ type Membership struct {
 	failLimit int
 	timeout   time.Duration
 	onDeath   func(id string) // called outside the lock
+	onTrip    func(id string) // called outside the lock when a breaker trips
 	logf      func(format string, args ...any)
+
+	brThreshold int             // breaker trip threshold for new members
+	brCooldown  time.Duration   // breaker cooldown for new members
+	faults      *fault.Injector // armed on each member's dispatch client
 }
 
 // NewMembership returns an empty member set. failLimit consecutive probe
@@ -86,12 +95,41 @@ func NewMembership(failLimit int, probeTimeout time.Duration, onDeath func(id st
 		logf = func(string, ...any) {}
 	}
 	return &Membership{
-		members:   make(map[string]*Member),
-		failLimit: failLimit,
-		timeout:   probeTimeout,
-		onDeath:   onDeath,
-		logf:      logf,
+		members:     make(map[string]*Member),
+		failLimit:   failLimit,
+		timeout:     probeTimeout,
+		onDeath:     onDeath,
+		logf:        logf,
+		brThreshold: 1,
 	}
+}
+
+// SetBreakerConfig tunes the circuit breakers given to members added after
+// the call (threshold minimum 1; cooldown default 15s). The default
+// threshold of 1 matches the membership escalation — the first dispatch
+// failure both trips the breaker and marks the worker suspect. Thresholds
+// above 1 tolerate that many consecutive failures before either happens.
+func (m *Membership) SetBreakerConfig(threshold int, cooldown time.Duration) {
+	m.mu.Lock()
+	m.brThreshold = threshold
+	m.brCooldown = cooldown
+	m.mu.Unlock()
+}
+
+// OnTrip installs the hook fired (outside the lock) each time a member's
+// breaker trips open — the coordinator's breaker-trip metric feed.
+func (m *Membership) OnTrip(fn func(id string)) {
+	m.mu.Lock()
+	m.onTrip = fn
+	m.mu.Unlock()
+}
+
+// SetFaults arms deterministic fault injection (site "fleet.dispatch") on
+// the dispatch clients of members added after the call.
+func (m *Membership) SetFaults(inj *fault.Injector) {
+	m.mu.Lock()
+	m.faults = inj
+	m.mu.Unlock()
 }
 
 // Add registers a worker (idempotent for an identical id+url; a re-join
@@ -104,13 +142,19 @@ func (m *Membership) Add(id, url string) *Member {
 		// Re-join of a known member: treat as a liveness signal.
 		mb.state = StateAlive
 		mb.fails = 0
+		mb.Breaker.Success()
 		return mb
+	}
+	dispatchOpts := []service.ClientOption{}
+	if m.faults != nil {
+		dispatchOpts = append(dispatchOpts, service.WithFaults(m.faults, "fleet.dispatch"))
 	}
 	mb := &Member{
 		ID:       id,
 		URL:      url,
-		Dispatch: service.NewClient(url),
+		Dispatch: service.NewClient(url, dispatchOpts...),
 		Probe:    service.NewClient(url, service.WithRetry(service.NoRetry())),
+		Breaker:  NewBreaker(m.brThreshold, m.brCooldown),
 	}
 	m.members[id] = mb
 	m.logf("fleet: member %s joined at %s", id, url)
@@ -157,7 +201,7 @@ func (m *Membership) Snapshot() []WorkerInfo {
 	defer m.mu.Unlock()
 	out := make([]WorkerInfo, 0, len(m.members))
 	for _, mb := range m.members {
-		out = append(out, WorkerInfo{ID: mb.ID, URL: mb.URL, State: mb.state.String(), Fails: mb.fails})
+		out = append(out, WorkerInfo{ID: mb.ID, URL: mb.URL, State: mb.state.String(), Fails: mb.fails, Breaker: mb.Breaker.State().String()})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -165,27 +209,61 @@ func (m *Membership) Snapshot() []WorkerInfo {
 
 // MarkFailed records a dispatch-side failure (connection refused, relay
 // error) as a probe failure would be — the fast path to Suspect/Dead when
-// a worker dies between probes.
+// a worker dies between probes. The member's circuit breaker accumulates
+// the same failure; with the default threshold of 1 the breaker trips the
+// moment the member leaves Alive, and higher thresholds delay both (a
+// member stays routable until its breaker trips).
 func (m *Membership) MarkFailed(id string) {
 	m.mu.Lock()
 	mb, ok := m.members[id]
-	var died bool
+	var died, tripped bool
 	if ok && mb.state != StateDead {
 		mb.fails++
+		tripped = mb.Breaker.Fail()
 		if mb.fails >= m.failLimit {
 			mb.state = StateDead
 			died = true
-		} else if mb.state == StateAlive {
+		} else if mb.state == StateAlive && (tripped || mb.Breaker.State() != BreakerClosed) {
 			mb.state = StateSuspect
 		}
 	}
 	m.mu.Unlock()
+	if tripped {
+		m.logf("fleet: member %s breaker tripped open", id)
+		if m.onTrip != nil {
+			m.onTrip(id)
+		}
+	}
 	if died {
 		m.logf("fleet: member %s declared dead after %d failures", id, m.failLimit)
 		if m.onDeath != nil {
 			m.onDeath(id)
 		}
 	}
+}
+
+// MarkSucceeded records a successful dispatch: the failure streak resets,
+// the breaker closes, and a suspect member returns to Alive — a worker that
+// just answered a relay is not missing.
+func (m *Membership) MarkSucceeded(id string) {
+	m.mu.Lock()
+	if mb, ok := m.members[id]; ok {
+		mb.fails = 0
+		mb.Breaker.Success()
+		if mb.state == StateSuspect {
+			mb.state = StateAlive
+		}
+	}
+	m.mu.Unlock()
+}
+
+// HalfOpenCandidates returns the suspect members, sorted by ID — the pool a
+// dispatcher may draw half-open trial dispatches from (via each member's
+// Breaker.TryProbe) when no alive member can take a job. Draining and dead
+// members are excluded: draining asked not to receive work, dead comes back
+// only through a successful probe.
+func (m *Membership) HalfOpenCandidates() []*Member {
+	return m.selectByState(func(s State) bool { return s == StateSuspect })
 }
 
 // ProbeOnce health-checks every member once, sequentially (fleet sizes
@@ -227,6 +305,7 @@ func (m *Membership) ProbeOnce(ctx context.Context) {
 			mb.state = StateAlive
 		}
 		mb.fails = 0
+		mb.Breaker.Success()
 		m.mu.Unlock()
 	}
 }

@@ -128,6 +128,59 @@ func TestMarkFailedEscalates(t *testing.T) {
 	}
 }
 
+// A dispatch failure trips the member's breaker (threshold 1) exactly once,
+// fires the OnTrip hook once, and MarkSucceeded both closes the breaker and
+// returns a suspect member to routing.
+func TestBreakerFollowsDispatchFeedback(t *testing.T) {
+	var trips []string
+	m := NewMembership(10, time.Second, nil, nil)
+	m.OnTrip(func(id string) { trips = append(trips, id) })
+	m.SetBreakerConfig(1, time.Hour)
+	mb := m.Add("w1", "http://127.0.0.1:1")
+
+	m.MarkFailed("w1")
+	if mb.Breaker.State() != BreakerOpen {
+		t.Fatalf("breaker = %s after failure, want open", mb.Breaker.State())
+	}
+	snap := m.Snapshot()[0]
+	if snap.State != "suspect" || snap.Breaker != "open" {
+		t.Fatalf("snapshot = %+v, want suspect/open", snap)
+	}
+	// Failures while already open never re-trip.
+	m.MarkFailed("w1")
+	m.MarkFailed("w1")
+	if len(trips) != 1 || trips[0] != "w1" {
+		t.Fatalf("trips = %v, want exactly one for w1", trips)
+	}
+
+	m.MarkSucceeded("w1")
+	if mb.Breaker.State() != BreakerClosed {
+		t.Fatalf("breaker = %s after success, want closed", mb.Breaker.State())
+	}
+	snap = m.Snapshot()[0]
+	if snap.State != "alive" || snap.Fails != 0 {
+		t.Fatalf("snapshot after success = %+v, want alive with 0 fails", snap)
+	}
+	if len(m.Routable()) != 1 {
+		t.Fatal("recovered member not routable")
+	}
+}
+
+// A healthy probe closes the breaker too: probe-path and dispatch-path
+// recovery are equivalent.
+func TestProbeSuccessClosesBreaker(t *testing.T) {
+	m, _, url := newMembers(t, nil)
+	mb := m.Add("w1", url)
+	m.MarkFailed("w1")
+	if mb.Breaker.State() != BreakerOpen {
+		t.Fatal("setup: breaker not open")
+	}
+	m.ProbeOnce(context.Background())
+	if mb.Breaker.State() != BreakerClosed {
+		t.Fatalf("breaker = %s after healthy probe, want closed", mb.Breaker.State())
+	}
+}
+
 func TestCheckVersion(t *testing.T) {
 	if err := CheckVersion(VersionString); err != nil {
 		t.Fatalf("exact version rejected: %v", err)

@@ -2,10 +2,12 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"sync"
 	"time"
 
+	"idyll/internal/fault"
 	"idyll/internal/service"
 )
 
@@ -22,6 +24,8 @@ type Filler struct {
 	peers   []string
 	clients map[string]*service.Client
 	timeout time.Duration
+	faults  *fault.Injector
+	metrics interface{ Inc(string, uint64) }
 }
 
 // NewFiller returns a filler for the worker reachable at self (may be
@@ -55,6 +59,32 @@ func (f *Filler) UpdatePeers(peers []string) {
 	f.mu.Unlock()
 }
 
+// SetFaults arms deterministic fault injection (sites "peer.fill" and
+// "peer.fill.payload") on peer clients created after the call; call it
+// before the first fill.
+func (f *Filler) SetFaults(inj *fault.Injector) {
+	f.mu.Lock()
+	f.faults = inj
+	f.mu.Unlock()
+}
+
+// SetMetrics wires the verify-failure counters (peer_verify_failures,
+// ckpt_peer_verify_failures) into the worker's metric set.
+func (f *Filler) SetMetrics(m interface{ Inc(string, uint64) }) {
+	f.mu.Lock()
+	f.metrics = m
+	f.mu.Unlock()
+}
+
+func (f *Filler) inc(name string) {
+	f.mu.Lock()
+	m := f.metrics
+	f.mu.Unlock()
+	if m != nil {
+		m.Inc(name, 1)
+	}
+}
+
 // Peers returns the current peer list.
 func (f *Filler) Peers() []string {
 	f.mu.Lock()
@@ -69,7 +99,11 @@ func (f *Filler) client(url string) *service.Client {
 	defer f.mu.Unlock()
 	c, ok := f.clients[url]
 	if !ok {
-		c = service.NewClient(url, service.WithRetry(service.NoRetry()))
+		opts := []service.ClientOption{service.WithRetry(service.NoRetry())}
+		if f.faults != nil {
+			opts = append(opts, service.WithFaults(f.faults, "peer.fill"))
+		}
+		c = service.NewClient(url, opts...)
 		f.clients[url] = c
 	}
 	return c
@@ -88,6 +122,12 @@ func (f *Filler) ResultFill(ctx context.Context, hash string, hints []string) ([
 		if err == nil && ok {
 			return data, true
 		}
+		// A fill whose bytes fail checksum verification is dropped like a
+		// miss — the next candidate (or a recompute) supplies good bytes.
+		var ce *service.ChecksumError
+		if errors.As(err, &ce) {
+			f.inc("peer_verify_failures")
+		}
 	}
 	return nil, false
 }
@@ -103,6 +143,10 @@ func (f *Filler) CkptFill(key string) ([]byte, bool) {
 		cancel()
 		if err == nil && ok {
 			return data, true
+		}
+		var ce *service.ChecksumError
+		if errors.As(err, &ce) {
+			f.inc("ckpt_peer_verify_failures")
 		}
 	}
 	return nil, false

@@ -1,0 +1,94 @@
+package integrity
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWrapUnwrapRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		bytes.Repeat([]byte{0xFF}, 4096),
+		[]byte(`{"result":42}`),
+	} {
+		blob := Wrap(payload)
+		got, err := Unwrap(blob)
+		if err != nil {
+			t.Fatalf("Unwrap(Wrap(%d bytes)): %v", len(payload), err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip lost payload: got %d bytes, want %d", len(got), len(payload))
+		}
+	}
+}
+
+func TestUnwrapRejectsNonEnvelope(t *testing.T) {
+	for _, blob := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte(`{"result":42}`),             // legacy unwrapped blob
+		[]byte("IDYLLSU"),                   // short magic
+		bytes.Repeat([]byte("IDYLLSUM"), 1), // magic only, no header
+	} {
+		if _, err := Unwrap(blob); !errors.Is(err, ErrNotEnvelope) {
+			t.Errorf("Unwrap(%q) = %v, want ErrNotEnvelope", blob, err)
+		}
+	}
+	// Unknown version is also not-an-envelope.
+	blob := Wrap([]byte("v"))
+	blob[8] = 99
+	if _, err := Unwrap(blob); !errors.Is(err, ErrNotEnvelope) {
+		t.Errorf("unknown version: %v, want ErrNotEnvelope", err)
+	}
+}
+
+func TestUnwrapDetectsEveryBitFlip(t *testing.T) {
+	payload := []byte("determinism under failure by demonstration")
+	clean := Wrap(payload)
+	for i := 0; i < len(clean)*8; i += 7 { // stride keeps the test fast
+		blob := append([]byte(nil), clean...)
+		blob[i/8] ^= 1 << (i % 8)
+		if _, err := Unwrap(blob); err == nil {
+			t.Fatalf("bit flip at %d went undetected", i)
+		}
+	}
+}
+
+func TestUnwrapDetectsTruncation(t *testing.T) {
+	clean := Wrap([]byte("some payload worth keeping"))
+	for _, n := range []int{0, 8, 40, 41, len(clean) - 1} {
+		if _, err := Unwrap(clean[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestChecksumErrorIsDistinct(t *testing.T) {
+	blob := Wrap([]byte("payload"))
+	blob[len(blob)-1] ^= 1
+	_, err := Unwrap(blob)
+	if !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupt payload: %v, want ErrChecksum", err)
+	}
+	if errors.Is(err, ErrNotEnvelope) {
+		t.Fatal("ErrChecksum must not satisfy ErrNotEnvelope")
+	}
+}
+
+func TestSumHexAndVerify(t *testing.T) {
+	payload := []byte("abc")
+	want := "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+	if got := SumHex(payload); got != want {
+		t.Fatalf("SumHex = %s", got)
+	}
+	if !VerifyHex(payload, want) || !VerifyHex(payload, "  "+want+"\n") ||
+		!VerifyHex(payload, "BA7816BF8F01CFEA414140DE5DAE2223B00361A396177A9CB410FF61F20015AD") {
+		t.Fatal("VerifyHex rejects a correct digest")
+	}
+	if VerifyHex(payload, SumHex([]byte("abd"))) {
+		t.Fatal("VerifyHex accepts a wrong digest")
+	}
+}

@@ -7,11 +7,17 @@ import (
 	"path/filepath"
 	"regexp"
 	"sync"
+
+	"idyll/internal/fault"
+	"idyll/internal/integrity"
 )
 
 // ResultCache is the content-addressed result store: an in-memory LRU over
 // result payloads keyed by spec hash, optionally backed by an on-disk store
-// (one file per hash, written atomically) that survives restarts. Safe for
+// (one file per hash, written atomically) that survives restarts. Disk blobs
+// are wrapped in an integrity checksum envelope; a blob that fails to verify
+// on read is quarantined to <file>.corrupt and treated as a miss, so damage
+// on the substrate costs a recompute, never a wrong or failed job. Safe for
 // concurrent use.
 type ResultCache struct {
 	mu      sync.Mutex
@@ -19,8 +25,10 @@ type ResultCache struct {
 	order   *list.List // front = most recently used
 	max     int
 	dir     string // "" = memory only
+	faults  *fault.Injector
 
-	hits, misses, diskHits uint64
+	hits, misses, diskHits      uint64
+	verifyFailures, quarantined uint64
 }
 
 type cacheEntry struct {
@@ -116,6 +124,20 @@ func (c *ResultCache) Stats() (hits, misses, diskHits uint64) {
 	return c.hits, c.misses, c.diskHits
 }
 
+// IntegrityStats reports how many disk reads failed envelope verification
+// and how many files were quarantined as a result.
+func (c *ResultCache) IntegrityStats() (verifyFailures, quarantined uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verifyFailures, c.quarantined
+}
+
+// SetFaults arms fault-injection sites cache.disk.read / cache.disk.write.
+// Call before the cache sees traffic; a nil injector disables injection.
+func (c *ResultCache) SetFaults(inj *fault.Injector) {
+	c.faults = inj
+}
+
 func (c *ResultCache) path(hash string) (string, bool) {
 	if c.dir == "" || !hashPattern.MatchString(hash) {
 		return "", false
@@ -123,31 +145,59 @@ func (c *ResultCache) path(hash string) (string, bool) {
 	return filepath.Join(c.dir, hash+".json"), true
 }
 
+// diskGet reads and verifies a blob. An unreadable or unverifiable file is
+// a miss, never an error: the entry is quarantined and the caller recomputes.
 func (c *ResultCache) diskGet(hash string) ([]byte, bool) {
 	path, ok := c.path(hash)
 	if !ok {
 		return nil, false
 	}
-	raw, err := os.ReadFile(path)
+	if err := c.faults.Err("cache.disk.read"); err != nil {
+		return nil, false
+	}
+	blob, err := os.ReadFile(path)
 	if err != nil {
+		return nil, false
+	}
+	blob = c.faults.Mangle("cache.disk.read", blob)
+	raw, err := integrity.Unwrap(blob)
+	if err != nil {
+		c.quarantine(path)
 		return nil, false
 	}
 	return raw, true
 }
 
+// quarantine moves a damaged blob aside as <file>.corrupt (removing it if
+// the rename fails) so the next read is a clean miss and the evidence keeps.
+func (c *ResultCache) quarantine(path string) {
+	c.mu.Lock()
+	c.verifyFailures++
+	c.quarantined++
+	c.mu.Unlock()
+	if os.Rename(path, path+".corrupt") != nil {
+		os.Remove(path)
+	}
+}
+
 // diskPut writes atomically (temp file + rename) so a crashed daemon never
-// leaves a torn result a future daemon would serve.
+// leaves a torn result a future daemon would serve. The payload goes to disk
+// wrapped in a checksum envelope.
 func (c *ResultCache) diskPut(hash string, raw []byte) error {
 	path, ok := c.path(hash)
 	if !ok {
 		return nil
 	}
+	if err := c.faults.Err("cache.disk.write"); err != nil {
+		return fmt.Errorf("service: cache write: %w", err)
+	}
+	blob := c.faults.Mangle("cache.disk.write", integrity.Wrap(raw))
 	tmp, err := os.CreateTemp(c.dir, "."+hash+".tmp*")
 	if err != nil {
 		return fmt.Errorf("service: cache write: %w", err)
 	}
 	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(raw); err != nil {
+	if _, err := tmp.Write(blob); err != nil {
 		tmp.Close()
 		return fmt.Errorf("service: cache write: %w", err)
 	}

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"idyll/internal/experiment"
+	"idyll/internal/fault"
+	"idyll/internal/integrity"
 )
 
 // Client is the typed Go client for an idylld daemon; cmd/idyllctl is a
@@ -26,6 +28,12 @@ type Client struct {
 	hc     *http.Client
 	tenant string
 	retry  RetryPolicy
+
+	// faults/faultSite arm deterministic fault injection on this client's
+	// requests (WithFaults). faultSite names the Err/Delay site; payload
+	// mangling uses faultSite+".payload". nil faults = zero overhead.
+	faults    *fault.Injector
+	faultSite string
 }
 
 // ClientOption configures a Client at construction.
@@ -47,6 +55,15 @@ func WithRetry(p RetryPolicy) ClientOption {
 // httptest transports; the fleet shares a pooled client across workers).
 func WithHTTPClient(hc *http.Client) ClientOption {
 	return func(c *Client) { c.hc = hc }
+}
+
+// WithFaults arms deterministic fault injection on this client: each
+// request consults inj at site (network errors, delays), and payloads
+// fetched by CacheGet/CkptGet are additionally mangled at site+".payload"
+// before checksum verification — which is how the chaos gate proves
+// verification actually runs. A nil injector is inert.
+func WithFaults(inj *fault.Injector, site string) ClientOption {
+	return func(c *Client) { c.faults, c.faultSite = inj, site }
 }
 
 // NewClient returns a client for the daemon at base (e.g.
@@ -90,6 +107,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte,
 	hdr map[string]string, ok ...int) (*http.Response, error) {
 	var resp *http.Response
 	err := c.retry.Do(ctx, func() error {
+		if c.faults != nil {
+			c.faults.Delay(c.faultSite)
+			if err := c.faults.Err(c.faultSite); err != nil {
+				return err // a synthetic network error; retryable like one
+			}
+		}
 		var rd io.Reader
 		if body != nil {
 			rd = bytes.NewReader(body)
@@ -193,22 +216,36 @@ func (c *Client) Status(ctx context.Context, id string) (*JobStatus, error) {
 
 // Wait blocks until the job reaches a terminal state and returns its final
 // status. Progress is streamed over SSE and forwarded to onEvent (which may
-// be nil); if the event stream drops, Wait falls back to polling, so it
-// survives daemon-side stream limits and proxies that buffer SSE.
+// be nil). A mid-stream disconnect is not fatal: Wait checks the job's
+// status, then re-establishes the stream with backoff, deduplicating the
+// replayed history by event Seq so onEvent sees each event exactly once.
+// Servers without SSE degrade to the status polls the loop does anyway.
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
-	if err := c.streamEvents(ctx, id, onEvent); err != nil && ctx.Err() != nil {
-		return nil, ctx.Err()
+	lastSeq := -1
+	dedup := func(ev Event) {
+		if ev.Seq <= lastSeq {
+			return // replayed history from a resumed stream
+		}
+		lastSeq = ev.Seq
+		if onEvent != nil {
+			onEvent(ev)
+		}
 	}
-	// Terminal state reached (or the stream broke): poll until terminal.
 	delay := 50 * time.Millisecond
 	for {
-		st, err := c.Status(ctx, id)
-		if err != nil {
-			return nil, err
+		_ = c.streamEvents(ctx, id, dedup) // nil: terminal event or server close
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
-		switch st.Status {
-		case StatusDone, StatusFailed, StatusCancelled:
-			return st, nil
+		st, err := c.Status(ctx, id)
+		switch {
+		case err == nil:
+			switch st.Status {
+			case StatusDone, StatusFailed, StatusCancelled:
+				return st, nil
+			}
+		case !Retryable(err):
+			return nil, err
 		}
 		select {
 		case <-ctx.Done():
@@ -223,7 +260,8 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*Job
 
 // streamEvents consumes the SSE stream until it ends (terminal event or
 // server close). A nil return means the stream ended normally. The stream
-// is not retried — Wait's poll fallback covers a broken stream.
+// itself is not retried here — Wait re-establishes it after checking the
+// job's status.
 func (c *Client) streamEvents(ctx context.Context, id string, onEvent func(Event)) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		c.base+"/v1/jobs/"+url.PathEscape(id)+"/events", nil)
@@ -329,6 +367,20 @@ func (c *Client) CkptGet(ctx context.Context, key string) (data []byte, ok bool,
 	return c.getRaw(ctx, "/v1/ckpt/"+url.PathEscape(key))
 }
 
+// ChecksumError reports a peer-fill payload whose bytes disagree with the
+// X-Idyll-Checksum header the server sent: the transfer (or the peer's
+// memory) is corrupt, and the bytes must not be used.
+type ChecksumError struct {
+	Path string // request path the bytes came from
+	Want string // digest from the X-Idyll-Checksum header
+	Got  string // digest of the received body
+}
+
+func (e *ChecksumError) Error() string {
+	return fmt.Sprintf("service: checksum mismatch on %s: header %.12s…, body %.12s…",
+		e.Path, e.Want, e.Got)
+}
+
 func (c *Client) getRaw(ctx context.Context, path string) ([]byte, bool, error) {
 	resp, err := c.do(ctx, http.MethodGet, path, nil, nil,
 		http.StatusOK, http.StatusNotFound)
@@ -343,6 +395,19 @@ func (c *Client) getRaw(ctx context.Context, path string) ([]byte, bool, error) 
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, false, err
+	}
+	if c.faults != nil {
+		data = c.faults.Mangle(c.faultSite+".payload", data)
+	}
+	// Verify transferred bytes against the server's digest. Servers that
+	// predate the header send none; those transfers pass unverified rather
+	// than failing the fill.
+	if want := resp.Header.Get(HeaderChecksum); want != "" {
+		if !integrity.VerifyHex(data, want) {
+			return nil, false, &ChecksumError{
+				Path: path, Want: strings.TrimSpace(want), Got: integrity.SumHex(data),
+			}
+		}
 	}
 	return data, true, nil
 }

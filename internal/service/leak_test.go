@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles at or below
+// before+slack, failing the test otherwise. HTTP transports and handler
+// goroutines wind down asynchronously, so a single instantaneous sample
+// would be flaky in both directions.
+func waitGoroutines(t *testing.T, before, slack int, drain func()) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if drain != nil {
+			drain()
+		}
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// A client that walks away mid-SSE-stream must not leave server- or
+// client-side goroutines behind: the event handler exits with the
+// connection, and repeated disconnects do not accumulate. Run with -race
+// in CI.
+func TestSSEDisconnectLeaksNoGoroutines(t *testing.T) {
+	gate := make(chan struct{})
+	_, c0 := newTestServer(t, Config{
+		Workers: 1,
+		Runner: func(ctx context.Context, _ CanonicalSpec,
+			_ func(int, int, string)) ([]byte, error) {
+			select {
+			case <-gate:
+				return []byte(`{}`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	tr := &http.Transport{}
+	c := NewClient(c0.Base(), WithHTTPClient(&http.Client{Transport: tr}))
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, cellSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 25; i++ {
+		sctx, cancel := context.WithCancel(ctx)
+		firstEvent := make(chan struct{}, 1)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = c.streamEvents(sctx, st.ID, func(Event) {
+				select {
+				case firstEvent <- struct{}{}:
+				default:
+				}
+			})
+		}()
+		// Wait until the stream is established (an event arrived), then
+		// disconnect mid-stream — the job is still running, so the server
+		// would otherwise hold the subscription open forever.
+		select {
+		case <-firstEvent:
+		case <-time.After(5 * time.Second):
+			t.Fatal("stream never delivered an event")
+		}
+		cancel()
+		<-done
+	}
+
+	waitGoroutines(t, before, 3, tr.CloseIdleConnections)
+	close(gate)
+	if _, err := c.Wait(ctx, st.ID, nil); err != nil {
+		t.Fatalf("job did not finish after the disconnect storm: %v", err)
+	}
+}

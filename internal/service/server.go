@@ -14,6 +14,8 @@ import (
 
 	"idyll/internal/checkpoint/store"
 	"idyll/internal/experiment"
+	"idyll/internal/fault"
+	"idyll/internal/integrity"
 )
 
 // Config tunes the daemon. The zero value is usable: every field has a
@@ -82,6 +84,11 @@ type Config struct {
 	JobTimeout time.Duration
 	// Runner executes specs (default RunSpec). Tests inject stubs.
 	Runner RunFunc
+	// Faults, when non-nil, arms deterministic fault injection (idylld
+	// -fault-spec). Sites this server exercises: cache.disk.read,
+	// cache.disk.write, ckpt.disk.read, ckpt.disk.write (storage) and
+	// worker.run (delay/panic around job execution). nil = zero overhead.
+	Faults *fault.Injector
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -151,7 +158,9 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	cache.SetFaults(cfg.Faults)
 	ckpt := store.New(cfg.CkptEntries, cfg.CkptDir)
+	ckpt.SetFaults(cfg.Faults)
 	if cfg.CkptFill != nil {
 		ckpt.SetRemoteFill(cfg.CkptFill)
 	}
@@ -400,6 +409,11 @@ func (s *Server) safeRun(ctx context.Context, j *job) (raw []byte, err error) {
 			err = fmt.Errorf("service: job panicked: %v", r)
 		}
 	}()
+	// worker.run is the injection site simulating a sick worker: delay rules
+	// model a stall, panic rules a crash mid-job (caught above, like any
+	// other panicking cell).
+	s.cfg.Faults.Delay("worker.run")
+	s.cfg.Faults.Panic("worker.run")
 	return s.cfg.Runner(ctx, j.spec, func(done, total int, cell string) {
 		j.emit(Event{Type: "progress", Done: done, Total: total, Cell: cell})
 	})
@@ -642,6 +656,7 @@ func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Inc("peer_serves", 1)
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(HeaderChecksum, integrity.SumHex(raw))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(raw)
 }
@@ -663,6 +678,7 @@ func (s *Server) handleCkptGet(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.Inc("ckpt_peer_serves", 1)
 	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(HeaderChecksum, integrity.SumHex(data))
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(data)
 }
@@ -803,6 +819,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Set("ckpt_misses", ckptMisses)
 	s.metrics.Set("ckpt_disk_hits", ckptDiskHits)
 	s.metrics.Set("ckpt_remote_hits", ckptRemoteHits)
+	cacheVF, cacheQ := s.cache.IntegrityStats()
+	s.metrics.Set("cache_verify_failures", cacheVF)
+	s.metrics.Set("cache_corrupt_quarantined", cacheQ)
+	ckptVF, ckptQ := s.ckpt.IntegrityStats()
+	s.metrics.Set("ckpt_verify_failures", ckptVF)
+	s.metrics.Set("ckpt_corrupt_quarantined", ckptQ)
+	if s.cfg.Faults != nil {
+		s.metrics.Set("faults_injected", s.cfg.Faults.TotalFired())
+		for site, n := range s.cfg.Faults.FiredBySite() {
+			s.metrics.Set(LabelKey("faults_injected_site", "site", site), n)
+		}
+	}
 	s.mu.Lock()
 	gauges := map[string]int{
 		"queue_depth":   s.queue.Len(),
