@@ -91,10 +91,42 @@ type Analyzer struct {
 	// allowed (and expected) to use goroutines, sync, and wall time.
 	CoreOnly bool
 
+	// Packages, when non-empty, restricts the analyzer to exactly these
+	// module-relative package paths — the scoping used by the service-layer
+	// contract checks (envelopewrite, missnoterror, metricreg, lockorder),
+	// which bind specific orchestration packages rather than the core set.
+	// Mutually exclusive with CoreOnly.
+	Packages []string
+
 	// Run inspects one package and reports findings via pass.Reportf.
 	// Returning an error aborts the whole idyllvet run (exit 2); it is
 	// reserved for internal failures, not findings.
 	Run func(pass *Pass) error
+
+	// Sources, when non-nil, enrolls the analyzer in the interprocedural
+	// taint engine: it reports the nondeterminism source sites inside one
+	// function body (a time.Now call, an order-sensitive map range, ...).
+	// The engine calls it on every type-checked function in the module —
+	// core and non-core alike — and propagates the taint backwards over
+	// the static call graph, so a core function whose call chain reaches a
+	// source three packages away is reported with the full chain even
+	// though no core file mentions the source directly. Sources must not
+	// call pass.Reportf; it returns sites, the engine does the reporting.
+	Sources func(pass *Pass, fn *ast.FuncDecl) []Source
+
+	// RunProgram, when non-nil, runs once over the whole loaded program
+	// instead of package by package — for contract checks that need a
+	// cross-package view, like metricreg's registry-vs-increment
+	// reconciliation. It only runs when at least one package the analyzer
+	// applies to was matched.
+	RunProgram func(prog *Program) ([]Diagnostic, error)
+}
+
+// A Source is one nondeterminism site inside a function body, found by an
+// Analyzer's Sources hook and propagated by the taint engine.
+type Source struct {
+	Pos token.Pos
+	Msg string // e.g. "time.Now reads the wall clock"
 }
 
 // A Pass carries one analyzer's view of one type-checked package.
@@ -203,12 +235,29 @@ func sortDiagnostics(diags []Diagnostic) {
 func applicableTo(analyzers []*Analyzer, pkg *Package) []*Analyzer {
 	var out []*Analyzer
 	for _, a := range analyzers {
-		if a.CoreOnly && !IsCore(pkg.Rel) {
+		if !a.appliesTo(pkg.Rel) {
 			continue
 		}
 		out = append(out, a)
 	}
 	return out
+}
+
+// appliesTo reports whether the analyzer's scoping admits the
+// module-relative package path.
+func (a *Analyzer) appliesTo(rel string) bool {
+	if a.CoreOnly {
+		return IsCore(rel)
+	}
+	if len(a.Packages) > 0 {
+		for _, p := range a.Packages {
+			if rel == p {
+				return true
+			}
+		}
+		return false
+	}
+	return true
 }
 
 // NeedsTypes reports whether any analyzer in the set applies to pkg, i.e.
@@ -217,4 +266,59 @@ func applicableTo(analyzers []*Analyzer, pkg *Package) []*Analyzer {
 // though the service layer drags in net/http.
 func NeedsTypes(analyzers []*Analyzer, pkg *Package) bool {
 	return len(applicableTo(analyzers, pkg)) > 0
+}
+
+// RunAll is the whole-program entry point: it type-checks every matched
+// package an analyzer applies to (core packages additionally when any
+// analyzer enrolls in the taint engine, since their module-internal
+// dependencies are pulled in transitively), runs the per-package analyzers,
+// the interprocedural taint engine, and the program-level checks, and
+// returns the findings with suppression directives from every matched
+// package applied.
+func RunAll(analyzers []*Analyzer, prog *Program) ([]Diagnostic, error) {
+	needTaint := false
+	for _, a := range analyzers {
+		if a.Sources != nil {
+			needTaint = true
+			break
+		}
+	}
+	for _, pkg := range prog.Pkgs {
+		if len(applicableTo(analyzers, pkg)) == 0 && !(needTaint && IsCore(pkg.Rel)) {
+			continue
+		}
+		if err := prog.Loader.TypeCheck(pkg); err != nil {
+			return nil, err
+		}
+	}
+
+	var raw []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		for _, a := range applicableTo(analyzers, pkg) {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Fset: pkg.Fset, Pkg: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	if needTaint {
+		raw = append(raw, runTaint(analyzers, prog)...)
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil || len(prog.Scoped(a)) == 0 {
+			continue
+		}
+		ds, err := a.RunProgram(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		raw = append(raw, ds...)
+	}
+
+	diags := applyDirectivesAll(prog.Pkgs, raw)
+	sortDiagnostics(diags)
+	return diags, nil
 }

@@ -50,7 +50,38 @@ func Run(t *testing.T, a *analysis.Analyzer, testdata, pkg string) {
 	if err != nil {
 		t.Fatalf("%s: %v", a.Name, err)
 	}
-	checkExpectations(t, a, p, diags)
+	checkExpectations(t, a.Name, []*analysis.Package{p}, diags)
+}
+
+// RunModule loads testdata/src/<name> as a self-contained mini-module (the
+// directory carries its own go.mod), runs the full whole-program pipeline —
+// per-package checks, the interprocedural taint engine, and program-level
+// checks — over ./... of that module, and checks the findings against the
+// want comments of every package in it. This is the harness for behaviour
+// that cannot be pinned from a single directory: taint chains crossing
+// package boundaries, and registry checks that reconcile two packages.
+func RunModule(t *testing.T, analyzers []*analysis.Analyzer, testdata, name string) {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join(testdata, "src", name))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	loader, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	pkgs, err := loader.Match([]string{"./..."})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("%s: no packages under %s", name, dir)
+	}
+	diags, err := analysis.RunAll(analyzers, analysis.NewProgram(loader, pkgs))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	checkExpectations(t, name, pkgs, diags)
 }
 
 // moduleRoot walks up from dir to the enclosing go.mod, so the harness
@@ -80,13 +111,15 @@ type expectation struct {
 	matched bool
 }
 
-func checkExpectations(t *testing.T, a *analysis.Analyzer, p *analysis.Package, diags []analysis.Diagnostic) {
+func checkExpectations(t *testing.T, label string, pkgs []*analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				wants = append(wants, parseWants(t, p.Fset, c)...)
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, p.Fset, c)...)
+				}
 			}
 		}
 	}
@@ -104,13 +137,13 @@ func checkExpectations(t *testing.T, a *analysis.Analyzer, p *analysis.Package, 
 		}
 		if !matched {
 			t.Errorf("%s: unexpected finding at %s:%d:%d: %s",
-				a.Name, filepath.Base(d.Position.Filename), d.Position.Line, d.Position.Column, d.Message)
+				label, filepath.Base(d.Position.Filename), d.Position.Line, d.Position.Column, d.Message)
 		}
 	}
 	for _, w := range wants {
 		if !w.matched {
 			t.Errorf("%s: expected finding matching %q at %s:%d, got none",
-				a.Name, w.raw, filepath.Base(w.file), w.line)
+				label, w.raw, filepath.Base(w.file), w.line)
 		}
 	}
 }

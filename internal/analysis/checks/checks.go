@@ -13,7 +13,9 @@ import (
 	"idyll/internal/analysis"
 )
 
-// All returns every analyzer, in stable registration order.
+// All returns every analyzer, in stable registration order: the five
+// core-only determinism checks (all enrolled in the interprocedural taint
+// engine), then the service-layer contract checks.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		Walltime,
@@ -21,6 +23,10 @@ func All() []*analysis.Analyzer {
 		Straygoroutine,
 		Maporder,
 		Floataccum,
+		Envelopewrite,
+		Missnoterror,
+		Metricreg,
+		Lockorder,
 	}
 }
 
@@ -68,22 +74,53 @@ func reportImports(pass *analysis.Pass, banned map[string]string) {
 // package-level object of the named package (e.g. time.Now, rand.Intn).
 func eachUseOf(pass *analysis.Pass, pkgPath string, fn func(id *ast.Ident, obj types.Object)) {
 	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			id, ok := n.(*ast.Ident)
-			if !ok {
-				return true
-			}
-			obj := pass.ObjectOf(id)
-			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
-				return true
-			}
-			if obj.Parent() != obj.Pkg().Scope() {
-				return true // method or field, not a package-level symbol
-			}
-			fn(id, obj)
-			return true
-		})
+		eachUseOfIn(pass, f, pkgPath, fn)
 	}
+}
+
+// eachUseOfIn is eachUseOf scoped to one subtree — the form the taint
+// engine's per-function Sources hooks use.
+func eachUseOfIn(pass *analysis.Pass, root ast.Node, pkgPath string, fn func(id *ast.Ident, obj types.Object)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.ObjectOf(id)
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != pkgPath {
+			return true
+		}
+		if obj.Parent() != obj.Pkg().Scope() {
+			return true // method or field, not a package-level symbol
+		}
+		fn(id, obj)
+		return true
+	})
+}
+
+// calleeFunc resolves a call expression's static callee, or nil for calls
+// through function values, builtins, and type conversions.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	f, _ := pass.ObjectOf(id).(*types.Func)
+	return f
+}
+
+// calleeIs reports whether call statically invokes a function named name
+// from a package whose short name is pkgName. Matching by package name
+// rather than full path keeps the contract checks testable from golden
+// mini-modules, where the import path prefix differs from the real module.
+func calleeIs(pass *analysis.Pass, call *ast.CallExpr, pkgName, name string) bool {
+	f := calleeFunc(pass, call)
+	return f != nil && f.Name() == name && f.Pkg() != nil && f.Pkg().Name() == pkgName
 }
 
 // isMapRange reports whether rng iterates a map.
@@ -128,11 +165,11 @@ func declaredWithin(pass *analysis.Pass, id *ast.Ident, node ast.Node) bool {
 	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
 }
 
-// eachStmtList calls fn for every statement list in the file — block
+// eachStmtList calls fn for every statement list under root — block
 // bodies, switch cases, and select clauses — so callers can see a
 // statement together with its following siblings.
-func eachStmtList(f *ast.File, fn func(list []ast.Stmt)) {
-	ast.Inspect(f, func(n ast.Node) bool {
+func eachStmtList(root ast.Node, fn func(list []ast.Stmt)) {
+	ast.Inspect(root, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.BlockStmt:
 			fn(x.List)

@@ -22,25 +22,48 @@ var Floataccum = &analysis.Analyzer{
 	Doc: "flag float64/float32 += (or x = x + y) under range-over-map: float " +
 		"addition is not associative, so randomized iteration order can change " +
 		"rounding between runs; iterate sorted keys so the summation order is " +
-		"fixed",
-	Run: runFloataccum,
+		"fixed; non-core helpers reached from the core are scanned " +
+		"interprocedurally",
+	Run:     runFloataccum,
+	Sources: floataccumSources,
 }
 
 func runFloataccum(pass *analysis.Pass) error {
 	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			rng, ok := n.(*ast.RangeStmt)
-			if !ok || !isMapRange(pass, rng) {
-				return true
-			}
-			scanFloatAccum(pass, rng)
-			return true
+		scanFloataccumUnder(pass, f, func(pos token.Pos, msg string) {
+			pass.Reportf(pos, "%s", msg)
 		})
 	}
 	return nil
 }
 
-func scanFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt) {
+// floataccumSources marks each order-sensitive float accumulation inside fn
+// as a taint source.
+func floataccumSources(pass *analysis.Pass, fn *ast.FuncDecl) []analysis.Source {
+	if fn.Body == nil {
+		return nil
+	}
+	var out []analysis.Source
+	scanFloataccumUnder(pass, fn.Body, func(pos token.Pos, msg string) {
+		out = append(out, analysis.Source{Pos: pos, Msg: msg})
+	})
+	return out
+}
+
+// scanFloataccumUnder finds every map range under root and reports its
+// order-sensitive float accumulations.
+func scanFloataccumUnder(pass *analysis.Pass, root ast.Node, report func(pos token.Pos, msg string)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapRange(pass, rng) {
+			return true
+		}
+		scanFloatAccum(pass, rng, report)
+		return true
+	})
+}
+
+func scanFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt, report func(pos token.Pos, msg string)) {
 	ast.Inspect(rng.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.RangeStmt:
@@ -60,10 +83,10 @@ func scanFloatAccum(pass *analysis.Pass, rng *ast.RangeStmt) {
 			}
 			switch x.Tok {
 			case token.ADD_ASSIGN, token.SUB_ASSIGN:
-				pass.Reportf(x.TokPos, "order-sensitive float accumulation under range-over-map: float addition is not associative; iterate sorted keys")
+				report(x.TokPos, "order-sensitive float accumulation under range-over-map: float addition is not associative; iterate sorted keys")
 			case token.ASSIGN:
 				if isSelfAccum(pass, lhs, x.Rhs[0]) {
-					pass.Reportf(x.TokPos, "order-sensitive float accumulation (x = x ± ...) under range-over-map: float addition is not associative; iterate sorted keys")
+					report(x.TokPos, "order-sensitive float accumulation (x = x ± ...) under range-over-map: float addition is not associative; iterate sorted keys")
 				}
 			}
 		}

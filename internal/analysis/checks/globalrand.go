@@ -1,6 +1,7 @@
 package checks
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 
@@ -20,8 +21,27 @@ var Globalrand = &analysis.Analyzer{
 	Doc: "forbid math/rand in the deterministic core: global generators are " +
 		"process-seeded and stdlib algorithms drift across Go releases; use the " +
 		"seeded sim.Rand (sim.NewRand) so random streams are part of the " +
-		"byte-identity guarantee",
-	Run: runGlobalrand,
+		"byte-identity guarantee; chains into non-core helpers that draw from " +
+		"math/rand are reported interprocedurally",
+	Run:     runGlobalrand,
+	Sources: globalrandSources,
+}
+
+// globalrandSources marks each math/rand draw inside fn as a taint source.
+func globalrandSources(pass *analysis.Pass, fn *ast.FuncDecl) []analysis.Source {
+	if fn.Body == nil {
+		return nil
+	}
+	var out []analysis.Source
+	for _, path := range []string{"math/rand", "math/rand/v2"} {
+		eachUseOfIn(pass, fn.Body, path, func(id *ast.Ident, obj types.Object) {
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return
+			}
+			out = append(out, analysis.Source{Pos: id.Pos(), Msg: fmt.Sprintf("rand.%s draws from math/rand", obj.Name())})
+		})
+	}
+	return out
 }
 
 func runGlobalrand(pass *analysis.Pass) error {

@@ -1,0 +1,436 @@
+package checks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"idyll/internal/analysis"
+)
+
+// Lockorder detects mutex acquisition-order cycles within the concurrent
+// orchestration packages. The service and fleet layers hold several mutexes
+// (server state, result cache, metrics, coordinator membership), and a pair
+// of code paths that acquire two of them in opposite orders is a deadlock
+// that no test catches until the unlucky interleaving ships. The check
+// models each sync.Mutex/RWMutex by its owning type and field (or
+// package-level variable name), walks every function with a held-lock set
+// (branch-sensitive, defer-aware: a deferred Unlock holds the lock to
+// function end), propagates which locks each function may acquire through
+// same-package static calls to a fixpoint, and reports every cycle in the
+// resulting held-before graph once, with the witness positions.
+var Lockorder = &analysis.Analyzer{
+	Name: "lockorder",
+	Packages: []string{
+		"internal/fleet",
+		"internal/service",
+	},
+	Doc: "detect mutex acquisition-order cycles inside a package: two paths " +
+		"that take the same pair of locks in opposite orders deadlock under " +
+		"the right interleaving; lock nesting must form a DAG, including " +
+		"nesting hidden behind same-package calls made while holding a lock",
+	Run: runLockorder,
+}
+
+// lockEdge is one held-before witness: acquiring `to` while `from` is held.
+type lockEdge struct {
+	pos token.Pos
+}
+
+type lockGraph struct {
+	pass *analysis.Pass
+	// acquires maps each package function to the set of lock keys it (or a
+	// same-package callee) may acquire — the call summaries.
+	acquires map[*types.Func]map[string]bool
+	// edges[from][to] is the first witness of `to` acquired under `from`.
+	edges map[string]map[string]lockEdge
+}
+
+func runLockorder(pass *analysis.Pass) error {
+	g := &lockGraph{
+		pass:     pass,
+		acquires: make(map[*types.Func]map[string]bool),
+		edges:    make(map[string]map[string]lockEdge),
+	}
+	fns := packageFuncs(pass)
+	g.buildSummaries(fns)
+	for _, fn := range fns {
+		g.walkFunc(fn)
+	}
+	g.reportCycles()
+	return nil
+}
+
+// packageFuncs returns the package's function declarations with bodies, in
+// source order.
+func packageFuncs(pass *analysis.Pass) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				out = append(out, fd)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// buildSummaries computes, to a fixpoint over same-package static calls,
+// the set of lock keys each function may acquire.
+func (g *lockGraph) buildSummaries(fns []*ast.FuncDecl) {
+	callees := make(map[*types.Func][]*types.Func)
+	objOf := make(map[*types.Func]*ast.FuncDecl)
+	for _, fd := range fns {
+		obj, ok := g.pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		objOf[obj] = fd
+		direct := make(map[string]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, acquire, ok := g.mutexOp(call); ok && acquire {
+				direct[key] = true
+			}
+			if callee := g.samePackageCallee(call); callee != nil {
+				callees[obj] = append(callees[obj], callee)
+			}
+			return true
+		})
+		g.acquires[obj] = direct
+	}
+	for changed := true; changed; {
+		changed = false
+		for obj := range objOf {
+			for _, callee := range callees[obj] {
+				for key := range g.acquires[callee] {
+					if !g.acquires[obj][key] {
+						g.acquires[obj][key] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkFunc runs the held-set walk over one function body.
+func (g *lockGraph) walkFunc(fd *ast.FuncDecl) {
+	g.walkStmts(fd.Body.List, make(map[string]bool))
+}
+
+// walkStmts processes a statement list, threading the held set through
+// sequential statements. Branch bodies get a copy: a lock acquired inside
+// one arm is not held after the branch joins (if it leaks out on purpose,
+// the sequential code after the acquisition already witnesses the edges).
+func (g *lockGraph) walkStmts(list []ast.Stmt, held map[string]bool) {
+	for _, st := range list {
+		g.walkStmt(st, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+func (g *lockGraph) walkStmt(st ast.Stmt, held map[string]bool) {
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		g.walkStmts(x.List, held)
+	case *ast.LabeledStmt:
+		g.walkStmt(x.Stmt, held)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			g.walkStmt(x.Init, held)
+		}
+		g.scanExpr(x.Cond, held)
+		g.walkStmt(x.Body, copyHeld(held))
+		if x.Else != nil {
+			g.walkStmt(x.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if x.Init != nil {
+			g.walkStmt(x.Init, held)
+		}
+		if x.Cond != nil {
+			g.scanExpr(x.Cond, held)
+		}
+		g.walkStmt(x.Body, copyHeld(held))
+	case *ast.RangeStmt:
+		g.scanExpr(x.X, held)
+		g.walkStmt(x.Body, copyHeld(held))
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			g.walkStmt(x.Init, held)
+		}
+		if x.Tag != nil {
+			g.scanExpr(x.Tag, held)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				g.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				g.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				g.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred Unlock releases only at return: the lock stays in the
+		// held set for the rest of the walk, which is exactly right. Other
+		// deferred calls run with whatever is held at return — approximated
+		// by the current held set.
+		if _, acquire, ok := g.mutexOp(x.Call); ok && !acquire {
+			return
+		}
+		g.scanExpr(x.Call, copyHeld(held))
+	case *ast.GoStmt:
+		// The goroutine starts with nothing held; its body is walked with a
+		// fresh set so the spawner's locks don't fabricate edges.
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			g.walkStmts(lit.Body.List, make(map[string]bool))
+		}
+	default:
+		g.scanExpr(st, held)
+	}
+}
+
+// scanExpr processes the calls inside one non-branching statement or
+// expression in source order, mutating held.
+func (g *lockGraph) scanExpr(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			// A closure is typically invoked where it is built (sort.Slice,
+			// singleflight callbacks), so its body runs under the current
+			// held set — walk it with a copy.
+			g.walkStmts(x.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			g.handleCall(x, held)
+		}
+		return true
+	})
+}
+
+func (g *lockGraph) handleCall(call *ast.CallExpr, held map[string]bool) {
+	if key, acquire, ok := g.mutexOp(call); ok {
+		if acquire {
+			g.addEdges(held, key, call.Pos())
+			held[key] = true
+		} else {
+			delete(held, key)
+		}
+		return
+	}
+	if len(held) == 0 {
+		return
+	}
+	if callee := g.samePackageCallee(call); callee != nil {
+		keys := make([]string, 0, len(g.acquires[callee]))
+		for key := range g.acquires[callee] {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			g.addEdges(held, key, call.Pos())
+		}
+	}
+}
+
+// addEdges records held→key witnesses for every currently held lock.
+func (g *lockGraph) addEdges(held map[string]bool, key string, pos token.Pos) {
+	froms := make([]string, 0, len(held))
+	for h := range held {
+		froms = append(froms, h)
+	}
+	sort.Strings(froms)
+	for _, from := range froms {
+		if from == key {
+			continue // re-acquisition is a different bug than an order cycle
+		}
+		if g.edges[from] == nil {
+			g.edges[from] = make(map[string]lockEdge)
+		}
+		if _, dup := g.edges[from][key]; !dup {
+			g.edges[from][key] = lockEdge{pos: pos}
+		}
+	}
+}
+
+// samePackageCallee resolves call to a function or method declared in the
+// package under analysis, or nil — the only calls whose lock summaries are
+// visible to an intra-package check.
+func (g *lockGraph) samePackageCallee(call *ast.CallExpr) *types.Func {
+	f := calleeFunc(g.pass, call)
+	if f == nil || f.Pkg() != g.pass.Pkg.Types {
+		return nil
+	}
+	return f
+}
+
+// mutexOp classifies call as a sync mutex acquisition or release and
+// returns the lock's key, or ok=false.
+func (g *lockGraph) mutexOp(call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var isAcquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		isAcquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	f, isFunc := g.pass.ObjectOf(sel.Sel).(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	k := g.lockKey(sel.X)
+	if k == "" {
+		return "", false, false
+	}
+	return k, isAcquire, true
+}
+
+// lockKey names a mutex by its owning named type and field ("Server.mu"),
+// or by its variable name for package-level and local mutexes. Locks
+// reached through expressions with no stable name (map/slice elements) get
+// no key and are skipped — the check is deliberately conservative.
+func (g *lockGraph) lockKey(expr ast.Expr) string {
+	switch x := expr.(type) {
+	case *ast.SelectorExpr:
+		t := g.pass.TypeOf(x.X)
+		if t == nil {
+			return ""
+		}
+		if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = ptr.Elem()
+		}
+		if named, isNamed := t.(*types.Named); isNamed {
+			return named.Obj().Name() + "." + x.Sel.Name
+		}
+		return ""
+	case *ast.Ident:
+		return x.Name
+	case *ast.ParenExpr:
+		return g.lockKey(x.X)
+	case *ast.UnaryExpr:
+		return g.lockKey(x.X)
+	}
+	return ""
+}
+
+// reportCycles finds every cycle in the held-before graph and reports each
+// once, anchored at the first witness edge, with the full key chain and the
+// witness position of every edge in the chain.
+func (g *lockGraph) reportCycles() {
+	keys := make([]string, 0, len(g.edges))
+	for k := range g.edges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	seen := make(map[string]bool)
+	for _, a := range keys {
+		tos := make([]string, 0, len(g.edges[a]))
+		for to := range g.edges[a] {
+			tos = append(tos, to)
+		}
+		sort.Strings(tos)
+		for _, b := range tos {
+			path := g.shortestPath(b, a)
+			if path == nil {
+				continue
+			}
+			cycle := append([]string{a}, path...) // a, b, ..., a
+			if smallest(cycle[:len(cycle)-1]) != a {
+				continue // reported from the rotation starting at the smallest key
+			}
+			id := strings.Join(cycle, "→")
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			g.pass.Reportf(g.edges[a][b].pos,
+				"mutex acquisition-order cycle: %s — opposite-order paths deadlock under the right interleaving; pick one global order and restructure the odd path out (witnesses: %s)",
+				strings.Join(cycle, " → "), g.witnesses(cycle))
+		}
+	}
+}
+
+// shortestPath returns the keys from `from` to `to` inclusive, by BFS over
+// sorted neighbors, or nil.
+func (g *lockGraph) shortestPath(from, to string) []string {
+	prev := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			var path []string
+			for k := to; k != ""; k = prev[k] {
+				path = append([]string{k}, path...)
+			}
+			return path
+		}
+		next := make([]string, 0, len(g.edges[cur]))
+		for n := range g.edges[cur] {
+			next = append(next, n)
+		}
+		sort.Strings(next)
+		for _, n := range next {
+			if _, visited := prev[n]; !visited {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	return nil
+}
+
+func smallest(keys []string) string {
+	min := keys[0]
+	for _, k := range keys[1:] {
+		if k < min {
+			min = k
+		}
+	}
+	return min
+}
+
+// witnesses renders "A→B at file:line" for each edge of the cycle, with
+// base filenames so the message is machine-independent.
+func (g *lockGraph) witnesses(cycle []string) string {
+	var parts []string
+	for i := 0; i+1 < len(cycle); i++ {
+		e := g.edges[cycle[i]][cycle[i+1]]
+		pos := g.pass.Fset.Position(e.pos)
+		parts = append(parts, fmt.Sprintf("%s→%s at %s:%d", cycle[i], cycle[i+1], filepath.Base(pos.Filename), pos.Line))
+	}
+	return strings.Join(parts, ", ")
+}

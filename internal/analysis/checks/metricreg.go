@@ -1,0 +1,268 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"idyll/internal/analysis"
+)
+
+// Metricreg reconciles the metric-key registry with the code, in both
+// directions. The /metrics exposition is a contract surface: the fleet
+// rollup greps it, CI smoke tests assert on specific counters, and
+// dashboards hard-code names — so a counter incremented under a name the
+// registry doesn't list is invisible-by-default monitoring drift, and a
+// registry entry nothing increments is a dashboard lying about coverage.
+// Every string-literal key passed to Metrics.Inc / IncLabeled / Set (or as
+// the base name of a LabelKey call) must appear in the MetricKeys registry,
+// and every registry entry must occur somewhere in the scoped packages.
+// Keys built at runtime from a literal prefix ("fleet_results_"+source)
+// match registry entries ending in "*" by prefix; fully dynamic keys are
+// out of scope (and should be rare enough to justify with a directive at
+// the registry).
+var Metricreg = &analysis.Analyzer{
+	Name: "metricreg",
+	Packages: []string{
+		"internal/service",
+		"internal/fleet",
+	},
+	Doc: "cross-check metric counter keys against the MetricKeys registry: " +
+		"every literal key incremented via Metrics.Inc/IncLabeled/Set or " +
+		"named in a LabelKey call must be registered (prefix entries end in " +
+		"\"*\"), and every registry entry must be used somewhere — the " +
+		"/metrics text is a contract the fleet rollup and CI gates grep, so " +
+		"drift in either direction is silent monitoring breakage",
+}
+
+// runMetricreg is attached in init to break the initialization cycle (the
+// function needs the analyzer value for Scoped and the diagnostic name).
+func init() { Metricreg.RunProgram = runMetricreg }
+
+// regEntry is one registry element: its literal value (with a trailing "*"
+// marking a prefix entry) and where it is declared.
+type regEntry struct {
+	val string
+	pos token.Pos
+}
+
+func runMetricreg(prog *analysis.Program) ([]analysis.Diagnostic, error) {
+	pkgs := prog.Scoped(Metricreg)
+	var diags []analysis.Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, analysis.Diagnostic{
+			Check:    Metricreg.Name,
+			Position: prog.Position(pos),
+			Message:  msg,
+		})
+	}
+
+	entries, regDecl := findMetricRegistry(pkgs)
+	if regDecl == nil {
+		report(pkgs[0].Files[0].Name.Pos(), "no MetricKeys registry found: declare `var MetricKeys = []string{...}` listing every metric counter key so the exposition surface is auditable in one place")
+		return diags, nil
+	}
+
+	// Direction 1: every literal key at a metric call site must be
+	// registered.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 || !isMetricKeyCall(pkg, call) {
+					return true
+				}
+				key, prefix, pos, ok := literalKeyArg(call.Args[0])
+				if !ok {
+					return true
+				}
+				if !registered(entries, key, prefix) {
+					if prefix {
+						report(pos, "metric key prefix "+strconv.Quote(key)+" has no matching MetricKeys entry: register the family as "+strconv.Quote(key+"*")+" so the exposition surface stays auditable")
+					} else {
+						report(pos, "metric key "+strconv.Quote(key)+" is not in the MetricKeys registry: every counter the daemon exposes must be registered, or dashboards and the fleet rollup drift silently")
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Direction 2: every registry entry must occur as (or prefix) a string
+	// literal somewhere outside the registry declaration itself.
+	used := make(map[string]bool)
+	var occurrences []string
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == regDecl {
+					return false
+				}
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				if s, err := strconv.Unquote(lit.Value); err == nil {
+					if !used[s] {
+						used[s] = true
+						occurrences = append(occurrences, s)
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, e := range entries {
+		if entryUsed(e.val, used, occurrences) {
+			continue
+		}
+		report(e.pos, "registry entry "+strconv.Quote(e.val)+" is never used in the scoped packages: remove it, or it documents a counter that does not exist")
+	}
+	return diags, nil
+}
+
+// findMetricRegistry locates the top-level `var MetricKeys = []string{...}`
+// declaration in the scoped packages, returning its string elements and the
+// ValueSpec node (nil if absent).
+func findMetricRegistry(pkgs []*analysis.Package) ([]regEntry, ast.Node) {
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "MetricKeys" || len(vs.Values) != 1 {
+						continue
+					}
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					var entries []regEntry
+					for _, el := range cl.Elts {
+						lit, ok := el.(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						if s, err := strconv.Unquote(lit.Value); err == nil {
+							entries = append(entries, regEntry{val: s, pos: lit.Pos()})
+						}
+					}
+					return entries, vs
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isMetricKeyCall reports whether call's first argument is a metric key:
+// a Metrics.Inc / IncLabeled / Set method call (receiver's named type is
+// "Metrics" — http.Header.Set and url.Values.Set don't match), or a call to
+// a function named LabelKey. Matching by name keeps the check exercisable
+// from golden mini-modules.
+func isMetricKeyCall(pkg *analysis.Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if ok {
+		switch sel.Sel.Name {
+		case "Inc", "IncLabeled", "Set":
+			return receiverIsMetrics(pkg, sel)
+		case "LabelKey":
+			f, _ := pkg.Info.ObjectOf(sel.Sel).(*types.Func)
+			return f != nil && f.Type().(*types.Signature).Recv() == nil
+		}
+		return false
+	}
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "LabelKey" {
+		_, isFunc := pkg.Info.ObjectOf(id).(*types.Func)
+		return isFunc
+	}
+	return false
+}
+
+// receiverIsMetrics reports whether sel.X's type is (a pointer to) a named
+// type called Metrics.
+func receiverIsMetrics(pkg *analysis.Package, sel *ast.SelectorExpr) bool {
+	t := pkg.Info.TypeOf(sel.X)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Metrics"
+}
+
+// literalKeyArg classifies a metric-key argument: a string literal (exact
+// key), a `"lit" + expr` concatenation (prefix key), or neither. Nested
+// calls (Inc(LabelKey(...))) and fully dynamic expressions return !ok — the
+// LabelKey call is checked on its own, and dynamic keys are out of scope.
+func literalKeyArg(arg ast.Expr) (key string, prefix bool, pos token.Pos, ok bool) {
+	switch x := arg.(type) {
+	case *ast.BasicLit:
+		if x.Kind != token.STRING {
+			return "", false, token.NoPos, false
+		}
+		s, err := strconv.Unquote(x.Value)
+		if err != nil {
+			return "", false, token.NoPos, false
+		}
+		return s, false, x.Pos(), true
+	case *ast.BinaryExpr:
+		if x.Op != token.ADD {
+			return "", false, token.NoPos, false
+		}
+		lit, okLit := x.X.(*ast.BasicLit)
+		if !okLit || lit.Kind != token.STRING {
+			return "", false, token.NoPos, false
+		}
+		s, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return "", false, token.NoPos, false
+		}
+		return s, true, lit.Pos(), true
+	}
+	return "", false, token.NoPos, false
+}
+
+// registered reports whether an exact key (or a literal prefix of a
+// runtime-built key family) matches a registry entry. Prefix entries end in
+// "*" and match by string prefix.
+func registered(entries []regEntry, key string, prefix bool) bool {
+	for _, e := range entries {
+		if p, wild := strings.CutSuffix(e.val, "*"); wild {
+			if prefix {
+				if strings.HasPrefix(key, p) || strings.HasPrefix(p, key) {
+					return true
+				}
+			} else if strings.HasPrefix(key, p) {
+				return true
+			}
+		} else if !prefix && e.val == key {
+			return true
+		}
+	}
+	return false
+}
+
+// entryUsed reports whether a registry entry is backed by a string literal
+// occurrence outside the registry: exact entries need an equal literal,
+// prefix entries need a literal the prefix covers.
+func entryUsed(entry string, used map[string]bool, occurrences []string) bool {
+	p, wild := strings.CutSuffix(entry, "*")
+	if !wild {
+		return used[entry]
+	}
+	for _, o := range occurrences {
+		if strings.HasPrefix(o, p) {
+			return true
+		}
+	}
+	return false
+}

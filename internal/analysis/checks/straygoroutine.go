@@ -23,8 +23,41 @@ var Straygoroutine = &analysis.Analyzer{
 		"deterministic core: the event engine is the only scheduler, and " +
 		"simulations must replay identically regardless of GOMAXPROCS; " +
 		"concurrency belongs to experiment/, service/, and the sanctioned " +
-		"boundary " + analysis.ConcurrencyBoundary,
-	Run: runStraygoroutine,
+		"boundary " + analysis.ConcurrencyBoundary + "; chains into non-core " +
+		"helpers that spawn goroutines or select over channels are reported " +
+		"interprocedurally",
+	Run:     runStraygoroutine,
+	Sources: straygoroutineSources,
+}
+
+// straygoroutineSources marks scheduler-dependent constructs inside fn as
+// taint sources: spawning a goroutine, selecting over channels, and raw
+// channel sends/receives. The sanctioned concurrency boundary contributes
+// none — its goroutine use is licensed and held to byte-identity by CI —
+// and sync.Mutex plumbing alone is not a source, because a lock changes
+// scheduling only when a second goroutine exists to contend with (which the
+// go-statement source already reports).
+func straygoroutineSources(pass *analysis.Pass, fn *ast.FuncDecl) []analysis.Source {
+	if fn.Body == nil || pass.Pkg.Rel == analysis.ConcurrencyBoundary {
+		return nil
+	}
+	var out []analysis.Source
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			out = append(out, analysis.Source{Pos: x.Pos(), Msg: "spawns a goroutine (event interleaving would depend on the Go scheduler)"})
+		case *ast.SelectStmt:
+			out = append(out, analysis.Source{Pos: x.Pos(), Msg: "selects over channels (case choice is scheduler-dependent)"})
+		case *ast.SendStmt:
+			out = append(out, analysis.Source{Pos: x.Pos(), Msg: "sends on a channel (cross-goroutine communication is scheduler-dependent)"})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				out = append(out, analysis.Source{Pos: x.Pos(), Msg: "receives from a channel (cross-goroutine communication is scheduler-dependent)"})
+			}
+		}
+		return true
+	})
+	return out
 }
 
 func runStraygoroutine(pass *analysis.Pass) error {

@@ -1,6 +1,7 @@
 package checks
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 
@@ -34,8 +35,10 @@ var Walltime = &analysis.Analyzer{
 	Doc: "forbid package time in the deterministic core: the simulator runs on " +
 		"virtual time (sim.VTime); wall-clock reads make results depend on host " +
 		"speed and scheduling, which breaks byte-identical replay and the " +
-		"content-addressed result cache",
-	Run: runWalltime,
+		"content-addressed result cache; call chains from the core into " +
+		"non-core helpers that read the clock are reported interprocedurally",
+	Run:     runWalltime,
+	Sources: walltimeSources,
 }
 
 func runWalltime(pass *analysis.Pass) error {
@@ -48,4 +51,20 @@ func runWalltime(pass *analysis.Pass) error {
 		}
 	})
 	return nil
+}
+
+// walltimeSources marks each wall-clock consultation inside fn as a taint
+// source. Plain time.Duration plumbing is not a source: a helper that
+// formats a duration is deterministic, one that reads the clock is not.
+func walltimeSources(pass *analysis.Pass, fn *ast.FuncDecl) []analysis.Source {
+	if fn.Body == nil {
+		return nil
+	}
+	var out []analysis.Source
+	eachUseOfIn(pass, fn.Body, "time", func(id *ast.Ident, obj types.Object) {
+		if why, ok := wallClockFuncs[obj.Name()]; ok {
+			out = append(out, analysis.Source{Pos: id.Pos(), Msg: fmt.Sprintf("time.%s %s", obj.Name(), why)})
+		}
+	})
+	return out
 }

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// FuzzIgnoreDirective feeds arbitrary text after the "//idyllvet:ignore"
+// prefix through the real comment parser and pins the directive grammar's
+// one invariant: every directive-shaped comment is classified as exactly
+// one of a well-formed directive (with a non-empty check set) or a single
+// malformed-directive finding — never both, never neither, and never a
+// panic. CI's fuzz-smoke job runs this for a short budget on every push.
+func FuzzIgnoreDirective(f *testing.F) {
+	f.Add(" maporder commutative integer reduction")
+	f.Add("-file walltime,globalrand legacy shim")
+	f.Add(" straygoroutine")
+	f.Add("")
+	f.Add(" ,, x")
+	f.Add("-file  ")
+	f.Add("\tmaporder\tjustified")
+	f.Add(" a,b,c because")
+	f.Fuzz(func(t *testing.T, suffix string) {
+		// Keep the directive a single line comment: line breaks would end
+		// the comment early and NULs are rejected by the scanner. Anything
+		// else — including invalid UTF-8 — must be handled gracefully.
+		suffix = strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' || r == 0 {
+				return ' '
+			}
+			return r
+		}, suffix)
+		src := "package p\n\n//idyllvet:ignore" + suffix + "\nvar x int\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz/src.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip() // scanner rejected the comment body; nothing to classify
+		}
+		pkg := &Package{Path: "fuzz", Fset: fset, Files: []*ast.File{file}}
+		dirs, bad := parseDirectives(pkg)
+		if len(dirs)+len(bad) != 1 {
+			t.Fatalf("suffix %q: classified as %d directives + %d malformed findings, want exactly 1 total",
+				suffix, len(dirs), len(bad))
+		}
+		if len(dirs) == 1 {
+			d := dirs[0]
+			if len(d.checks) == 0 {
+				t.Fatalf("suffix %q: well-formed directive with empty check set: %+v", suffix, d)
+			}
+			if d.file != "fuzz/src.go" || d.line != 3 {
+				t.Fatalf("suffix %q: directive position = %s:%d, want fuzz/src.go:3", suffix, d.file, d.line)
+			}
+			for name := range d.checks {
+				if name == "" || strings.ContainsAny(name, " \t,") {
+					t.Fatalf("suffix %q: malformed check name %q survived parsing", suffix, name)
+				}
+			}
+		} else {
+			b := bad[0]
+			if b.Check != "idyllvet" {
+				t.Fatalf("suffix %q: malformed-directive finding reported under %q, want idyllvet", suffix, b.Check)
+			}
+			if !b.Position.IsValid() || b.Position.Filename != "fuzz/src.go" || b.Position.Line != 3 {
+				t.Fatalf("suffix %q: malformed-directive position = %v, want fuzz/src.go:3", suffix, b.Position)
+			}
+		}
+	})
+}

@@ -67,6 +67,16 @@ func parseDirectives(pkg *Package) ([]directive, []Diagnostic) {
 						checks[name] = true
 					}
 				}
+				// A check list that reduces to nothing (",," and friends)
+				// names no check to suppress: malformed, not a silent no-op.
+				if len(checks) == 0 {
+					bad = append(bad, Diagnostic{
+						Check:    "idyllvet",
+						Position: pos,
+						Message:  "malformed ignore directive: want //idyllvet:ignore <check>[,<check>...] <justification>",
+					})
+					continue
+				}
 				dirs = append(dirs, directive{
 					file:     pos.Filename,
 					line:     pos.Line,
@@ -83,6 +93,28 @@ func parseDirectives(pkg *Package) ([]directive, []Diagnostic) {
 // directives and appends a finding for every malformed directive.
 func applyDirectives(pkg *Package, raw []Diagnostic) []Diagnostic {
 	dirs, bad := parseDirectives(pkg)
+	var out []Diagnostic
+	for _, d := range raw {
+		if !suppressed(dirs, d.Position, d.Check) {
+			out = append(out, d)
+		}
+	}
+	return append(out, bad...)
+}
+
+// applyDirectivesAll filters raw findings through the suppression
+// directives of every listed package at once — the whole-program variant
+// used by RunAll, where a taint-chain finding can land in a different
+// package than the analyzer nominally ran on. Malformed directives are
+// appended once per package, as in the per-package path.
+func applyDirectivesAll(pkgs []*Package, raw []Diagnostic) []Diagnostic {
+	var dirs []directive
+	var bad []Diagnostic
+	for _, pkg := range pkgs {
+		d, b := parseDirectives(pkg)
+		dirs = append(dirs, d...)
+		bad = append(bad, b...)
+	}
 	var out []Diagnostic
 	for _, d := range raw {
 		if !suppressed(dirs, d.Position, d.Check) {

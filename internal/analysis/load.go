@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -170,6 +171,53 @@ func (l *Loader) parseRel(rel string) (*Package, error) {
 	return pkg, nil
 }
 
+// A LoadError is a package that could not be loaded — a module-internal
+// import naming a directory that does not exist or holds no Go files. It
+// carries the position of the offending import spec, so the failure prints
+// as an ordinary file:line:col diagnostic instead of a bare package path,
+// and the driver can exit 2 with the culprit named.
+type LoadError struct {
+	Pkg string         // the unresolvable import path
+	Pos token.Position // the import spec that named it (zero if unknown)
+	Err error
+}
+
+func (e *LoadError) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: cannot load package %q: %v", e.Pos, e.Pkg, e.Err)
+	}
+	return fmt.Sprintf("cannot load package %q: %v", e.Pkg, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
+// resolveImports eagerly parses every module-internal import of pkg before
+// the type checker runs, so a missing or Go-file-free package surfaces as a
+// positioned LoadError naming the import, not as whatever the type
+// checker's first downstream error happens to be.
+func (l *Loader) resolveImports(pkg *Package) error {
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path != l.Module && !strings.HasPrefix(path, l.Module+"/") {
+				continue
+			}
+			rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+			p, err := l.parseRel(rel)
+			if err != nil {
+				return &LoadError{Pkg: path, Pos: l.Fset.Position(imp.Pos()), Err: err}
+			}
+			if p == nil {
+				return &LoadError{Pkg: path, Pos: l.Fset.Position(imp.Pos()), Err: fmt.Errorf("no Go files in %s", filepath.Join(l.Root, filepath.FromSlash(rel)))}
+			}
+		}
+	}
+	return nil
+}
+
 // TypeCheck populates pkg.Types and pkg.Info, type-checking dependencies as
 // needed. Type errors are fatal: analyzers must not run on partial
 // information, where a missing Uses entry silently hides a finding.
@@ -182,6 +230,10 @@ func (l *Loader) TypeCheck(pkg *Package) error {
 	}
 	l.checking[pkg.Path] = true
 	defer delete(l.checking, pkg.Path)
+
+	if err := l.resolveImports(pkg); err != nil {
+		return err
+	}
 
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
@@ -211,7 +263,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 			return nil, err
 		}
 		if pkg == nil {
-			return nil, fmt.Errorf("no Go files in %s", path)
+			return nil, &LoadError{Pkg: path, Err: fmt.Errorf("no Go files in %s", filepath.Join(l.Root, filepath.FromSlash(rel)))}
 		}
 		if err := l.TypeCheck(pkg); err != nil {
 			return nil, err

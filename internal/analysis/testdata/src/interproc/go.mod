@@ -1,0 +1,3 @@
+module interproc
+
+go 1.22

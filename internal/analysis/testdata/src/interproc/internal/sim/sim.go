@@ -1,0 +1,24 @@
+// Package sim stands in for the deterministic core (its module-relative
+// path, internal/sim, is in analysis.CorePackages). It never mentions
+// package time, yet Tick's call chain reaches time.Now two hops away — the
+// case only the interprocedural taint engine can catch.
+package sim
+
+import "interproc/util"
+
+// Tick crosses into the tainted helper: reported with the full chain.
+func Tick() int64 {
+	return util.StampA() // want `call chain escapes the deterministic core: internal/sim\.Tick → util\.StampA → util\.stampB: time\.Now reads the wall clock`
+}
+
+// Clean calls an untainted helper: no finding.
+func Clean() int {
+	return util.Pure(3)
+}
+
+// Licensed pins that chain findings honor suppression directives like any
+// per-package finding.
+func Licensed() int64 {
+	//idyllvet:ignore walltime golden: pins that taint-chain findings honor suppression directives
+	return util.StampA()
+}

@@ -1,0 +1,14 @@
+// Package stats pins the direct-import half of the walltime contract: a
+// core package that consults the clock itself is reported by the
+// per-package check at the source line, under the same check name the
+// chained case uses — the taint engine adds reach, it does not change the
+// reporting surface.
+package stats
+
+import "time" // want `import of "time" in the deterministic core`
+
+// Direct reads the clock in core code: flagged at the call site, not as a
+// chain (the source is local).
+func Direct() int64 {
+	return time.Now().UnixNano() // want `time\.Now reads the wall clock`
+}

@@ -1,0 +1,20 @@
+// Package util is the non-core helper layer of the interproc golden
+// module. Nothing here is flagged directly — util is outside the core set —
+// but StampA is two hops from a wall-clock read, so any core caller must be
+// reported with the full chain.
+package util
+
+import "time"
+
+// StampA is one hop from the clock via stampB.
+func StampA() int64 { return stampB() }
+
+// stampB reads the wall clock: the taint source.
+func stampB() int64 { return time.Now().UnixNano() }
+
+// Pure is deterministic; calling it from the core is fine.
+func Pure(x int) int { return x + 1 }
+
+// UnreachedStamp also reads the clock but has no core caller: sources are
+// only reported where a core chain crosses into them.
+func UnreachedStamp() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,3 @@
+module metricreg
+
+go 1.22

@@ -1,0 +1,12 @@
+// Package fleet is the consumer half of the metricreg golden module: it
+// increments counters against the registry that lives in internal/service,
+// which only a whole-program check can reconcile.
+package fleet
+
+import "metricreg/internal/service"
+
+// report exercises the wildcard-prefix match and the suppression path.
+func report(m *service.Metrics, source string) {
+	m.Inc("fleet_results_"+source, 1)
+	m.Inc("fleet_rogue", 1) //idyllvet:ignore metricreg golden: pins that registry findings honor suppression directives
+}

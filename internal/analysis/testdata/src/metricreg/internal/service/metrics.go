@@ -1,0 +1,40 @@
+// Package service is the registry-owning half of the metricreg golden
+// module: a miniature Metrics type, the LabelKey helper, and the MetricKeys
+// registry the check reconciles in both directions.
+package service
+
+import "sync"
+
+// Metrics mirrors the real daemon's counter set.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]uint64
+}
+
+// Inc adds delta to the named counter.
+func (m *Metrics) Inc(name string, delta uint64) {
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Set overwrites the named counter.
+func (m *Metrics) Set(name string, v uint64) {
+	m.mu.Lock()
+	m.counters[name] = v
+	m.mu.Unlock()
+}
+
+// LabelKey renders the labeled-counter key.
+func LabelKey(name, label, value string) string {
+	return name + `{` + label + `="` + value + `"}`
+}
+
+// MetricKeys is the registry under test. "fleet_results_*" registers a
+// runtime-built family by prefix; "ghost_counter" is backed by nothing.
+var MetricKeys = []string{
+	"fleet_results_*",
+	"ghost_counter", // want `registry entry "ghost_counter" is never used`
+	"jobs_accepted",
+	"queue_depth",
+}

@@ -1,0 +1,20 @@
+package service
+
+// record exercises the registered, unregistered, composed, and dynamic
+// call-site shapes.
+func record(m *Metrics) {
+	m.Inc("jobs_accepted", 1)
+	m.Inc("jobs_dropped", 1) // want `metric key "jobs_dropped" is not in the MetricKeys registry`
+	// A composed key is checked at the LabelKey call (registered here), not
+	// at the Inc whose argument is the call.
+	m.Inc(LabelKey("jobs_accepted", "tenant", "t"), 1)
+	// Fully dynamic keys are out of the check's scope.
+	m.Set(dynamicName(), 1)
+}
+
+// gauges backs the "queue_depth" registry entry with a literal occurrence.
+func gauges() map[string]int {
+	return map[string]int{"queue_depth": 0}
+}
+
+func dynamicName() string { return "x" }

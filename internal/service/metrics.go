@@ -11,6 +11,66 @@ import (
 	"idyll/internal/stats"
 )
 
+// MetricKeys is the registry of every metric name the daemon and the fleet
+// coordinator expose: plain counters, labeled-counter base names, gauges
+// sampled at render time, and the latency summary lines. The /metrics text
+// is a contract surface — the fleet rollup, the CI smoke tests, and
+// dashboards grep it by name — so the idyllvet metricreg check enforces
+// this list in both directions: a literal key incremented anywhere in
+// internal/service or internal/fleet must appear here, and every entry here
+// must be backed by code. Entries ending in "*" register a runtime-built
+// family by prefix (e.g. fleet_results_<source>). Keep the list sorted.
+var MetricKeys = []string{
+	"cache_corrupt_quarantined",
+	"cache_disk_hits",
+	"cache_entries",
+	"cache_hits",
+	"cache_misses",
+	"cache_verify_failures",
+	"ckpt_corrupt_quarantined",
+	"ckpt_disk_hits",
+	"ckpt_entries",
+	"ckpt_hits",
+	"ckpt_misses",
+	"ckpt_peer_serve_misses",
+	"ckpt_peer_serves",
+	"ckpt_peer_verify_failures",
+	"ckpt_remote_hits",
+	"ckpt_verify_failures",
+	"faults_injected",
+	"faults_injected_site",
+	"fleet_breaker_trips",
+	"fleet_breaker_trips_worker",
+	"fleet_degraded_local_runs",
+	"fleet_jobs_dispatched",
+	"fleet_replications",
+	"fleet_reroutes",
+	"fleet_results_*",
+	"job_latency_count",
+	"job_latency_mean_us",
+	"job_latency_p50_us",
+	"job_latency_p99_us",
+	"job_panics",
+	"jobs_accepted",
+	"jobs_cancelled",
+	"jobs_completed",
+	"jobs_deduped",
+	"jobs_failed",
+	"jobs_inflight",
+	"jobs_shed",
+	"jobs_tracked",
+	"peer_fill_misses",
+	"peer_fills",
+	"peer_serve_misses",
+	"peer_serves",
+	"peer_verify_failures",
+	"queue_depth",
+	"scrape_error",
+	"tenant_jobs_accepted",
+	"tenant_jobs_completed",
+	"tenant_jobs_shed",
+}
+
 // Metrics aggregates the daemon's operational counters, exposed as plain
 // text on GET /metrics (one "name value" pair per line, prometheus-style
 // names without the type annotations). Safe for concurrent use.

@@ -29,9 +29,24 @@ go vet ./cmd/... ./internal/profiling
 # idyllvet covers internal/sim/pdes like the rest of the deterministic
 # core; only the straygoroutine check exempts it (analysis.ConcurrencyBoundary
 # — the one package allowed to own goroutines, with golden-file tests in the
-# analyzer suite pinning the boundary).
-echo "== idyllvet (determinism contract) =="
-go run ./cmd/idyllvet ./...
+# analyzer suite pinning the boundary). -counts prints the per-check finding
+# tally so a clean run still shows what was actually checked.
+echo "== idyllvet (determinism + service-layer contracts) =="
+go run ./cmd/idyllvet -counts ./...
+
+# The committed baseline must be a fixed point of -write-baseline: if
+# regenerating it changes the file, either a fixed finding is still
+# grandfathered or a new finding was baselined without review. CI runs the
+# same gate in the idyllvet-pass job.
+echo "== idyllvet baseline freshness =="
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+cp .idyllvet-baseline "$tmp"
+go run ./cmd/idyllvet -write-baseline ./... >/dev/null
+if ! diff -u "$tmp" .idyllvet-baseline; then
+    echo "idyllvet baseline is stale: commit the regenerated .idyllvet-baseline" >&2
+    exit 1
+fi
 
 echo "== analyzer test suite =="
 go test ./internal/analysis/...
